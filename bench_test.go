@@ -1,0 +1,400 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment once per
+// iteration at a reduced (but meaningful) scale and reports the headline
+// metric as a custom unit, so `go test -bench=. -benchmem` reproduces the
+// whole evaluation campaign end to end. Scale up with the cmd/experiments
+// tool for full-set numbers.
+//
+// The Ablation* benchmarks cover the design choices DESIGN.md calls out:
+// static vs adaptive threshold, vUB on/off, weight-table size and weight
+// width.
+package pagecross
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchOpts is the per-iteration experiment scale: enough workloads and
+// instructions for the shapes to show, small enough to iterate.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Warmup: 50_000, Instrs: 50_000, MaxWorkloads: 12,
+	}
+}
+
+func reportSpeedup(b *testing.B, name string, speedup float64) {
+	b.ReportMetric((speedup-1)*100, name+"_%")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	wls := experiments.Sample(trace.MotivationSet(), 8)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min, max := r.Spread("berti")
+		reportSpeedup(b, "berti_min", min)
+		reportSpeedup(b, "berti_max", max)
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	wls := experiments.Sample(trace.MotivationSet(), 8)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgUseful["berti"]*100, "useful_%")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	wls := experiments.Sample(trace.MotivationSet(), 8)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean("helped", "dtlb"), "helped_dtlb_dMPKI")
+		b.ReportMetric(r.Mean("hurt", "dtlb"), "hurt_dtlb_dMPKI")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 10)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "berti_dripper", r.Geomeans["berti"]["DRIPPER"])
+		reportSpeedup(b, "berti_permit", r.Geomeans["berti"]["Permit PGC"])
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 12)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "dripper", r.Overall["DRIPPER"])
+		reportSpeedup(b, "permit", r.Overall["Permit PGC"])
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 12)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverallCoverage["DRIPPER"]*100, "coverage_%")
+		b.ReportMetric(r.OverallAccuracy["DRIPPER"]*100, "accuracy_%")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 12)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanDelta["DRIPPER"]["dtlb"], "dtlb_dMPKI")
+		b.ReportMetric(r.MeanDelta["DRIPPER"]["l1d"], "l1d_dMPKI")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 12)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MedianUseless["DRIPPER"], "dripper_uselessPKI")
+		b.ReportMetric(r.MedianUseless["Permit PGC"], "permit_uselessPKI")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 8)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "dripper", r.Geomean["DRIPPER"])
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 8)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "dripper", r.GeomeanDripper)
+		reportSpeedup(b, "dripper_sf", r.GeomeanSF)
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 8)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "dripper", r.Geomean["DRIPPER"])
+		reportSpeedup(b, "dripper_2mb", r.Geomean["DRIPPER(filter@2MB)"])
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 6)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig17(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "nol2_dripper", r.Geomean["none"]["DRIPPER"])
+		reportSpeedup(b, "spp_dripper", r.Geomean["spp"]["DRIPPER"])
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	wls := experiments.Sample(trace.Unseen(), 10)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig18(benchOpts(), wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "unseen_dripper", r.Overall["DRIPPER"])
+	}
+}
+
+func BenchmarkFig19(b *testing.B) {
+	o := benchOpts()
+	o.Warmup, o.Instrs = 10_000, 20_000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig19(o, 4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "dripper_ws", r.Geomean["DRIPPER"])
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	o := benchOpts()
+	o.Warmup, o.Instrs = 20_000, 30_000
+	wls := experiments.Sample(trace.Seen(), 4)
+	candidates := []string{"Delta", "PC^Delta", "PC", "sTLB MPKI", "sTLB MissRate"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(o, wls, candidates, []string{"berti"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Selected["berti"])), "features")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TotalKB, "KB")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	o := benchOpts()
+	o.MaxWorkloads = 6
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "seen_dripper", r.Geomean["seen"]["DRIPPER"])
+		reportSpeedup(b, "unseen_dripper", r.Geomean["unseen"]["DRIPPER"])
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// ablationGeomean runs DRIPPER with a mutated filter configuration and
+// returns the geomean speedup over Discard PGC.
+func ablationGeomean(b *testing.B, mutate func(*core.Config)) float64 {
+	b.Helper()
+	wls := experiments.Sample(trace.Seen(), 8)
+	o := benchOpts()
+	fc := core.DefaultDripperConfig("berti")
+	if mutate != nil {
+		mutate(&fc)
+	}
+	m, err := experiments.RunMatrix(o, wls, []experiments.Scenario{
+		{Name: "Discard PGC", Configure: func(c *sim.Config) { c.Policy = sim.PolicyDiscard }},
+		{Name: "variant", Configure: func(c *sim.Config) {
+			cfg := fc
+			c.FilterConfig = &cfg
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := m.Geomean("variant", "Discard PGC", wls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkAblationStaticThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		adaptive := ablationGeomean(b, nil)
+		static := ablationGeomean(b, func(c *core.Config) {
+			thr := -2
+			c.StaticThreshold = &thr
+		})
+		reportSpeedup(b, "adaptive", adaptive)
+		reportSpeedup(b, "static", static)
+	}
+}
+
+func BenchmarkAblationNoVUB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationGeomean(b, nil)
+		without := ablationGeomean(b, func(c *core.Config) { c.VUBEntries = 1 })
+		reportSpeedup(b, "vub4", with)
+		reportSpeedup(b, "vub1", without)
+	}
+}
+
+func BenchmarkAblationWTSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, entries := range []int{64, 1024, 8192} {
+			e := entries
+			g := ablationGeomean(b, func(c *core.Config) { c.WTEntries = e })
+			b.ReportMetric((g-1)*100, "wt"+itoa(e)+"_%")
+		}
+	}
+}
+
+func BenchmarkAblationWeightBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{3, 5, 7} {
+			w := bits
+			g := ablationGeomean(b, func(c *core.Config) { c.WeightBits = w })
+			b.ReportMetric((g-1)*100, "w"+itoa(w)+"bit_%")
+		}
+	}
+}
+
+// BenchmarkFDPvsDripper contrasts the paper's per-prefetch filtering with
+// classic whole-engine throttling (Feedback-Directed Prefetching, §VI):
+// FDP with Permit PGC cannot selectively keep the useful page-cross
+// prefetches.
+func BenchmarkFDPvsDripper(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 8)
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.RunMatrix(o, wls, []experiments.Scenario{
+			{Name: "Discard PGC", Configure: func(c *sim.Config) { c.Policy = sim.PolicyDiscard }},
+			{Name: "FDP+Permit", Configure: func(c *sim.Config) {
+				c.Policy = sim.PolicyPermit
+				c.FDPThrottle = true
+			}},
+			{Name: "DRIPPER", Configure: func(c *sim.Config) { c.Policy = sim.PolicyDripper }},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fdp, err := m.Geomean("FDP+Permit", "Discard PGC", wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dr, err := m.Geomean("DRIPPER", "Discard PGC", wls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "fdp_permit", fdp)
+		reportSpeedup(b, "dripper", dr)
+	}
+}
+
+func BenchmarkAblationLLCReplacement(b *testing.B) {
+	wls := experiments.Sample(trace.Seen(), 6)
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		for _, repl := range []cache.ReplPolicy{cache.ReplLRU, cache.ReplSRRIP, cache.ReplRandom} {
+			r := repl
+			m, err := experiments.RunMatrix(o, wls, []experiments.Scenario{
+				{Name: "Discard PGC", Configure: func(c *sim.Config) {
+					c.Policy = sim.PolicyDiscard
+					c.LLC.Repl = r
+				}},
+				{Name: "DRIPPER", Configure: func(c *sim.Config) {
+					c.Policy = sim.PolicyDripper
+					c.LLC.Repl = r
+				}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := m.Geomean("DRIPPER", "Discard PGC", wls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric((g-1)*100, string(r)+"_%")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (instructions
+// per wall second) — the engineering metric of the substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		b.Fatal("workload missing")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.PolicyDripper
+	cfg.WarmupInstrs = 0
+	cfg.SimInstrs = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunWorkload(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}

@@ -1,0 +1,226 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints the rows/series of the corresponding table or figure.
+//
+// Examples:
+//
+//	experiments -exp fig9 -max-workloads 60 -instrs 200000
+//	experiments -exp fig19 -cores 8 -mixes 50
+//	experiments -exp all -max-workloads 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
+		warmup = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
+		instrs = flag.Uint64("instrs", 100_000, "measured instructions per workload")
+		maxWl  = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
+		par    = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		cores  = flag.Int("cores", 8, "cores for fig19")
+		mixes  = flag.Int("mixes", 20, "mixes for fig19")
+		pf     = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of text")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		Warmup: *warmup, Instrs: *instrs,
+		MaxWorkloads: *maxWl, Parallel: *par, Prefetcher: *pf,
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig2":
+			r, err := experiments.Fig2(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig3":
+			r, err := experiments.Fig3(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig4":
+			r, err := experiments.Fig4(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig9":
+			r, err := experiments.Fig9(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig10":
+			r, err := experiments.Fig10(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig11":
+			r, err := experiments.Fig11(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig12":
+			r, err := experiments.Fig12(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig13":
+			r, err := experiments.Fig13(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig14":
+			r, err := experiments.Fig14(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig15":
+			r, err := experiments.Fig15(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig16":
+			r, err := experiments.Fig16(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig17":
+			r, err := experiments.Fig17(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig18":
+			r, err := experiments.Fig18(o, nil)
+			if err != nil {
+				return err
+			}
+			if !*asJSON {
+				fmt.Println("Fig. 18 (unseen workloads):")
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "table2":
+			// The full selection sweep is expensive; restrict the pool to
+			// a representative subset unless the user raised the budgets.
+			candidates := []string{"Delta", "PC^Delta", "PC", "VA", "VA>>12",
+				"CacheLineOffset", "sTLB MPKI", "sTLB MissRate", "LLC MPKI"}
+			r, err := experiments.Table2(o, nil, candidates, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "table3":
+			r, err := experiments.Table3()
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "table5":
+			r, err := experiments.Table5(o)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "sweep-epoch", "sweep-stlb", "sweep-degree", "sweep-vub":
+			fns := map[string]func(experiments.Options, []trace.Workload) (*experiments.SweepResult, error){
+				"sweep-epoch":  experiments.EpochSweep,
+				"sweep-stlb":   experiments.STLBSweep,
+				"sweep-degree": experiments.DegreeSweep,
+				"sweep-vub":    experiments.VUBSweep,
+			}
+			r, err := fns[name](o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "shapes":
+			r, err := experiments.VerifyShapes(o, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		case "fig19":
+			r, err := experiments.Fig19(o, *cores, *mixes)
+			if err != nil {
+				return err
+			}
+			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig2", "fig3", "fig4", "fig9", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+			"table3", "table5", "fig19"}
+	}
+	for _, n := range names {
+		fmt.Printf("==> %s (workloads<=%d, %d+%d instrs)\n", n, o.MaxWorkloads, o.Warmup, o.Instrs)
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

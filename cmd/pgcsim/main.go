@@ -1,0 +1,129 @@
+// Command pgcsim runs one workload on the simulated system and reports the
+// statistics the paper's analysis is built on: IPC, per-level MPKIs,
+// prefetch coverage/accuracy, page-cross usefulness and page-walk counts.
+//
+// Examples:
+//
+//	pgcsim -workload gap.graph_s00 -prefetcher berti -policy dripper
+//	pgcsim -workload spec.pagehop_s00 -policy permit -instrs 1000000
+//	pgcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "spec.stream_s00", "workload name (see -list)")
+		prefetcher = flag.String("prefetcher", "berti", "L1D prefetcher: berti|ipcp|bop|none")
+		l2pf       = flag.String("l2-prefetcher", "none", "L2C prefetcher: none|spp|ipcp|bop")
+		policy     = flag.String("policy", "dripper", "page-cross policy: permit|discard|discard-ptw|dripper|ppf|ppf+dthr|dripper-sf")
+		warmup     = flag.Uint64("warmup", 250_000, "warmup instructions")
+		instrs     = flag.Uint64("instrs", 250_000, "measured instructions")
+		largePages = flag.Bool("large-pages", false, "back half the address space with 2MB pages")
+		traceFile  = flag.String("trace", "", "run a recorded .pgct trace file instead of a named workload")
+		list       = flag.Bool("list", false, "list all workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range trace.All() {
+			kind := "unseen"
+			if w.Seen {
+				kind = "seen"
+			}
+			if !w.MemoryIntensive {
+				kind = "non-intensive"
+			}
+			fmt.Printf("%-24s suite=%-8s %s weight=%.2f\n", w.Name, w.Suite, kind, w.Weight)
+		}
+		return
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.L1DPrefetcher = *prefetcher
+	cfg.L2CPrefetcher = *l2pf
+	cfg.Policy = sim.PolicyKind(*policy)
+	cfg.WarmupInstrs = *warmup
+	cfg.SimInstrs = *instrs
+	if *largePages {
+		cfg.VMem.LargePages = true
+		cfg.VMem.LargePageFraction = 0.5
+	}
+
+	var run *stats.Run
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		instrs, rerr := trace.ReadTrace(f)
+		f.Close()
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", rerr)
+			os.Exit(1)
+		}
+		run, err = sim.RunTrace(cfg, *traceFile, "file", trace.NewSliceReader(instrs))
+	} else {
+		w, ok := trace.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pgcsim: unknown workload %q (try -list)\n", *workload)
+			os.Exit(1)
+		}
+		run, err = sim.RunWorkload(cfg, w)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgcsim: %v\n", err)
+		os.Exit(1)
+	}
+	report(run)
+}
+
+func report(r *stats.Run) {
+	fmt.Printf("workload      %s (%s)\n", r.Workload, r.Suite)
+	fmt.Printf("instructions  %d\n", r.Core.Instructions)
+	fmt.Printf("cycles        %d\n", r.Core.Cycles)
+	fmt.Printf("IPC           %.4f\n", r.IPC())
+	fmt.Println()
+	fmt.Printf("%-6s %10s %10s %10s %9s\n", "level", "accesses", "misses", "MPKI", "missrate")
+	for _, lv := range []string{"l1i", "l1d", "l2c", "llc", "dtlb", "itlb", "stlb"} {
+		var cs *stats.CacheStats
+		switch lv {
+		case "l1i":
+			cs = &r.L1I
+		case "l1d":
+			cs = &r.L1D
+		case "l2c":
+			cs = &r.L2C
+		case "llc":
+			cs = &r.LLC
+		case "dtlb":
+			cs = &r.DTLB
+		case "itlb":
+			cs = &r.ITLB
+		case "stlb":
+			cs = &r.STLB
+		}
+		fmt.Printf("%-6s %10d %10d %10.3f %8.1f%%\n",
+			lv, cs.DemandAccesses, cs.DemandMisses, r.MPKI(lv), cs.MissRate()*100)
+	}
+	fmt.Println()
+	fmt.Printf("prefetch fills      %d (useful %d, useless %d, accuracy %.1f%%)\n",
+		r.L1D.PrefetchFills, r.L1D.UsefulPrefetches, r.L1D.UselessPrefetches,
+		r.L1D.PrefetchAccuracy()*100)
+	useful, useless := r.PGCPerKiloInstr()
+	fmt.Printf("page-cross issued   %d (dropped %d)\n", r.L1D.PGCIssued, r.L1D.PGCDropped)
+	fmt.Printf("page-cross useful   %d (%.2f/kinstr)   useless %d (%.2f/kinstr)   accuracy %.1f%%\n",
+		r.L1D.PGCUseful, useful, r.L1D.PGCUseless, useless, r.L1D.PGCAccuracy()*100)
+	fmt.Printf("page walks          %d demand, %d speculative (%d memory reads, %d PSC hits)\n",
+		r.PTW.Walks, r.PTW.SpeculativeWalks, r.PTW.WalkMemAccesses, r.PTW.PSCHits)
+}

@@ -1,0 +1,123 @@
+// Command pgcstats batch-runs a workload set under one configuration and
+// emits per-workload statistics as CSV, for spreadsheet or plotting
+// pipelines.
+//
+// Examples:
+//
+//	pgcstats -set seen -policy dripper -max 40 > dripper.csv
+//	pgcstats -set unseen -policy permit -instrs 200000 > permit_unseen.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		set        = flag.String("set", "seen", "workload set: seen|unseen|nonintensive|all")
+		policy     = flag.String("policy", "dripper", "page-cross policy")
+		prefetcher = flag.String("prefetcher", "berti", "L1D prefetcher")
+		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions")
+		instrs     = flag.Uint64("instrs", 100_000, "measured instructions")
+		maxN       = flag.Int("max", 0, "cap on workloads (0 = all)")
+		parallel   = flag.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	var wls []trace.Workload
+	switch *set {
+	case "seen":
+		wls = trace.Seen()
+	case "unseen":
+		wls = trace.Unseen()
+	case "nonintensive":
+		wls = trace.NonIntensive()
+	case "all":
+		wls = trace.All()
+	default:
+		fmt.Fprintf(os.Stderr, "pgcstats: unknown set %q\n", *set)
+		os.Exit(1)
+	}
+	if *maxN > 0 && *maxN < len(wls) {
+		wls = wls[:*maxN]
+	}
+
+	par := *parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+
+	results := make([]*stats.Run, len(wls))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	var firstErr error
+	var mu sync.Mutex
+	for i, w := range wls {
+		wg.Add(1)
+		go func(i int, w trace.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := sim.DefaultConfig()
+			cfg.Policy = sim.PolicyKind(*policy)
+			cfg.L1DPrefetcher = *prefetcher
+			cfg.WarmupInstrs = *warmup
+			cfg.SimInstrs = *instrs
+			run, err := sim.RunWorkload(cfg, w)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", w.Name, err)
+				}
+				mu.Unlock()
+				return
+			}
+			results[i] = run
+		}(i, w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		fmt.Fprintf(os.Stderr, "pgcstats: %v\n", firstErr)
+		os.Exit(1)
+	}
+
+	cw := csv.NewWriter(os.Stdout)
+	defer cw.Flush()
+	header := []string{"workload", "suite", "weight", "ipc",
+		"l1d_mpki", "l2c_mpki", "llc_mpki", "dtlb_mpki", "stlb_mpki", "l1i_mpki",
+		"pf_fills", "pf_accuracy", "pgc_issued", "pgc_dropped", "pgc_useful",
+		"pgc_useless", "walks", "spec_walks", "branch_mpki"}
+	if err := cw.Write(header); err != nil {
+		fmt.Fprintf(os.Stderr, "pgcstats: %v\n", err)
+		os.Exit(1)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 4, 64) }
+	u := func(x uint64) string { return strconv.FormatUint(x, 10) }
+	for i, w := range wls {
+		r := results[i]
+		row := []string{
+			w.Name, w.Suite, f(w.Weight), f(r.IPC()),
+			f(r.MPKI("l1d")), f(r.MPKI("l2c")), f(r.MPKI("llc")),
+			f(r.MPKI("dtlb")), f(r.MPKI("stlb")), f(r.MPKI("l1i")),
+			u(r.L1D.PrefetchFills), f(r.L1D.PrefetchAccuracy()),
+			u(r.L1D.PGCIssued), u(r.L1D.PGCDropped),
+			u(r.L1D.PGCUseful), u(r.L1D.PGCUseless),
+			u(r.PTW.Walks), u(r.PTW.SpeculativeWalks),
+			f(float64(r.Core.Mispredicts) * 1000 / float64(r.Core.Instructions+1)),
+		}
+		if err := cw.Write(row); err != nil {
+			fmt.Fprintf(os.Stderr, "pgcstats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Filter design with the MOKA framework: this example walks the workflow a
+// microarchitect would use to build a Page-Cross Filter for a new
+// prefetcher (§III-D3):
+//
+//  1. list the framework's program and system features;
+//  2. run the offline greedy feature selection against a training workload
+//     set, scoring each candidate configuration by geomean IPC speedup;
+//  3. instantiate the selected filter and validate it on held-out
+//     workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pagecross "repro"
+)
+
+// evalConfig scores a filter configuration: geomean IPC speedup over the
+// Discard-PGC baseline across the training workloads.
+func makeEval(train []pagecross.Workload, baseIPC map[string]float64) func(pagecross.FilterConfig) (float64, error) {
+	return func(fc pagecross.FilterConfig) (float64, error) {
+		var speedups []float64
+		for _, w := range train {
+			cfg := pagecross.DefaultConfig()
+			cfg.WarmupInstrs = 30_000
+			cfg.SimInstrs = 60_000
+			fcCopy := fc
+			cfg.FilterConfig = &fcCopy
+			run, err := pagecross.Run(cfg, w)
+			if err != nil {
+				return 0, err
+			}
+			speedups = append(speedups, run.IPC()/baseIPC[w.Name])
+		}
+		return pagecross.Geomean(speedups)
+	}
+}
+
+func main() {
+	// Training set: a small slice of the seen workloads.
+	var train []pagecross.Workload
+	for _, name := range []string{"spec.stream_s00", "spec.pagehop_s00", "gap.graph_s00"} {
+		w, ok := pagecross.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("missing workload %s", name)
+		}
+		train = append(train, w)
+	}
+
+	fmt.Println("MOKA feature bouquet:")
+	fmt.Printf("  %d program features, e.g. %v ...\n",
+		len(pagecross.ProgramFeatures()), pagecross.ProgramFeatures()[:5])
+	fmt.Printf("  %d system features: %v\n\n",
+		len(pagecross.SystemFeatures()), pagecross.SystemFeatures())
+
+	// Baseline IPCs (Discard PGC), shared by every evaluation.
+	baseIPC := map[string]float64{}
+	for _, w := range train {
+		cfg := pagecross.DefaultConfig()
+		cfg.Policy = pagecross.PolicyDiscard
+		cfg.WarmupInstrs = 30_000
+		cfg.SimInstrs = 60_000
+		run, err := pagecross.Run(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseIPC[w.Name] = run.IPC()
+	}
+
+	// Greedy selection over a candidate pool (narrowed to keep this example
+	// quick; pass pagecross.ProgramFeatures()+SystemFeatures() for the full
+	// sweep).
+	candidates := []string{"Delta", "PC^Delta", "PC", "VA>>12", "sTLB MPKI", "sTLB MissRate"}
+	fmt.Printf("running greedy selection over %v ...\n", candidates)
+	sel, err := pagecross.SelectFeatures(
+		pagecross.DripperConfig("berti"), candidates, 0.003,
+		makeEval(train, baseIPC))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nisolated feature ranking:")
+	for _, name := range sel.Ranking {
+		fmt.Printf("  %-16s %+6.2f%%\n", name, (sel.SingleScores[name]-1)*100)
+	}
+	fmt.Printf("\nselected set: %v (geomean %+.2f%%)\n\n", sel.Selected, (sel.Score-1)*100)
+
+	// Validate the chosen filter on a held-out workload.
+	holdout, _ := pagecross.WorkloadByName("ligra.graph_s01")
+	fc := pagecross.DripperConfig("berti")
+	fc.ProgramFeatures = nil
+	fc.SystemFeatures = nil
+	for _, n := range sel.Selected {
+		isSystem := false
+		for _, s := range pagecross.SystemFeatures() {
+			if s == n {
+				isSystem = true
+			}
+		}
+		if isSystem {
+			fc.SystemFeatures = append(fc.SystemFeatures, n)
+		} else {
+			fc.ProgramFeatures = append(fc.ProgramFeatures, n)
+		}
+	}
+	cfg := pagecross.DefaultConfig()
+	cfg.FilterConfig = &fc
+	cfg.WarmupInstrs = 100_000
+	cfg.SimInstrs = 100_000
+	run, err := pagecross.Run(cfg, holdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := cfg
+	base.FilterConfig = nil
+	base.Policy = pagecross.PolicyDiscard
+	baseRun, err := pagecross.Run(base, holdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("holdout %s: custom filter %+.2f%% over Discard PGC\n",
+		holdout.Name, (pagecross.Speedup(run, baseRun)-1)*100)
+
+	// Report the filter's hardware budget.
+	f, err := pagecross.NewFilter(fc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storage budget: %.3f KB\n", f.StorageKB())
+}

@@ -1,0 +1,73 @@
+// Large pages (§V-B6): when the OS backs part of the address space with
+// 2MB pages, a prefetch that crosses a 4KB boundary inside a large page
+// carries no TLB risk — the translation already covers it — but still
+// risks cache pollution. This example compares, on a 4KB+2MB system:
+//
+//   - Permit PGC (page-size aware, the [89] proposal in virtual space);
+//   - DRIPPER(filter@2MB), which only filters crossings of the residing
+//     page's own boundary;
+//   - DRIPPER, which filters every 4KB crossing regardless of page size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pagecross "repro"
+)
+
+func main() {
+	var workloads []pagecross.Workload
+	for _, w := range pagecross.SeenWorkloads() {
+		if (w.Suite == "spec" || w.Suite == "gap") && len(workloads) < 6 {
+			workloads = append(workloads, w)
+		}
+	}
+
+	type scenario struct {
+		name        string
+		policy      pagecross.PolicyKind
+		filterAt2MB bool
+	}
+	scenarios := []scenario{
+		{"Discard PGC", pagecross.PolicyDiscard, false},
+		{"Permit PGC", pagecross.PolicyPermit, false},
+		{"DRIPPER@2MB", pagecross.PolicyDripper, true},
+		{"DRIPPER", pagecross.PolicyDripper, false},
+	}
+
+	speedups := map[string][]float64{}
+	for _, w := range workloads {
+		var base float64
+		for _, sc := range scenarios {
+			cfg := pagecross.DefaultConfig()
+			cfg.Policy = sc.policy
+			cfg.FilterAt2MB = sc.filterAt2MB
+			cfg.VMem.LargePages = true
+			cfg.VMem.LargePageFraction = 0.5
+			cfg.WarmupInstrs = 120_000
+			cfg.SimInstrs = 120_000
+			run, err := pagecross.Run(cfg, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sc.name == "Discard PGC" {
+				base = run.IPC()
+				continue
+			}
+			speedups[sc.name] = append(speedups[sc.name], run.IPC()/base)
+			fmt.Printf("%-20s %-14s IPC ratio %.4f  (spec walks %d, dTLB MPKI %.3f)\n",
+				w.Name, sc.name, run.IPC()/base, run.PTW.SpeculativeWalks, run.MPKI("dtlb"))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("geomeans over Discard PGC (4KB+2MB pages):")
+	for _, sc := range scenarios[1:] {
+		g, err := pagecross.Geomean(speedups[sc.name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %+6.2f%%\n", sc.name, (g-1)*100)
+	}
+}

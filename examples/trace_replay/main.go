@@ -1,0 +1,77 @@
+// Trace record-and-replay: capture a synthetic workload into the binary
+// trace format, then replay the recording through the simulator and verify
+// the replay produces bit-identical statistics to running the generator
+// directly. This is the workflow for sharing reproducible traces between
+// machines without shipping the generators.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	w, ok := trace.ByName("gap.graph_s00")
+	if !ok {
+		log.Fatal("workload missing")
+	}
+	const n = 120_000
+
+	// Record.
+	gen, err := w.NewReader()
+	if err != nil {
+		log.Fatal(err)
+	}
+	instrs := trace.Record(gen, n)
+	path := filepath.Join(os.TempDir(), "graph_s00.pgct")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteTrace(f, instrs); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	st, _ := os.Stat(path)
+	fmt.Printf("recorded %d instructions to %s (%.1f MB)\n", len(instrs), path,
+		float64(st.Size())/(1<<20))
+
+	// Replay from disk.
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := trace.ReadTrace(rf)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.PolicyDripper
+	cfg.WarmupInstrs = 40_000
+	cfg.SimInstrs = 60_000
+
+	direct, err := sim.RunTrace(cfg, w.Name, w.Suite, trace.NewSliceReader(instrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := sim.RunTrace(cfg, w.Name, w.Suite, trace.NewSliceReader(loaded))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("direct  IPC %.4f, L1D MPKI %.2f\n", direct.IPC(), direct.MPKI("l1d"))
+	fmt.Printf("replay  IPC %.4f, L1D MPKI %.2f\n", replayed.IPC(), replayed.MPKI("l1d"))
+	if *direct == *replayed {
+		fmt.Println("replay is bit-identical to the direct run")
+	} else {
+		fmt.Println("MISMATCH: replay diverged from the direct run")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,551 @@
+// Package cache implements the set-associative, write-back caches of the
+// simulated 3-level hierarchy (L1I, L1D, L2C, LLC).
+//
+// Timing model. The simulator resolves every access synchronously through
+// the hierarchy and returns the cycle at which data becomes available; cache
+// state (fills, evictions, LRU) updates immediately. MSHRs bound the number
+// of outstanding misses per level and model prefetch timeliness: a demand
+// access that reaches a line whose fill is still in flight merges into the
+// MSHR and completes when the fill completes, so a late prefetch still saves
+// part of the miss latency — exactly the effect the paper's timeliness
+// discussion depends on.
+//
+// Every block carries a prefetch bit and the paper's Page-Cross Bit (PCB,
+// §III-C2), and the cache exposes fill/eviction/demand-hit hooks so the
+// page-cross filter can train on L1D events without the cache knowing the
+// filter exists.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Level is anything that can serve a physical-address access: a lower cache
+// or the DRAM controller.
+type Level interface {
+	// Access performs the access at the given cycle and returns the cycle
+	// at which the data is available to the requester.
+	Access(req *Request, cycle uint64) (ready uint64)
+}
+
+// Request is the physical-side request travelling down the hierarchy.
+type Request struct {
+	PA   mem.PAddr
+	VA   mem.VAddr // valid at the L1s (virtually-indexed levels); informational below
+	PC   mem.VAddr
+	Type mem.AccessType
+
+	// Prefetch metadata, used by the L1D hooks.
+	IsPageCross bool
+	FilterTag   any
+	Delta       int64
+}
+
+// Block is one cache line's metadata.
+type Block struct {
+	valid     bool
+	dirty     bool
+	pa        mem.PAddr // line-aligned physical address
+	tag       uint64
+	lru       uint64 // higher = more recently used
+	issue     uint64 // cycle the fill request was issued
+	ready     uint64 // fill-completion cycle
+	prefetch  bool   // filled by a prefetch, cleared design-wise never (stat kept until evict)
+	pageCross bool   // the paper's PCB bit
+	servedHit bool   // served >=1 demand access since fill
+	filterTag any    // page-cross filter tag carried from the prefetch
+}
+
+// EvictInfo describes an evicted block to the eviction hook.
+type EvictInfo struct {
+	PA        mem.PAddr
+	Prefetch  bool
+	PageCross bool
+	ServedHit bool
+	FilterTag any
+	Dirty     bool
+}
+
+// HitInfo describes a demand hit to the demand-hit hook.
+type HitInfo struct {
+	PA        mem.PAddr
+	VA        mem.VAddr
+	PC        mem.VAddr
+	Prefetch  bool
+	PageCross bool
+	FilterTag any
+	// FirstHit is true when this is the first demand access the block
+	// serves since it was filled.
+	FirstHit bool
+}
+
+// ReplPolicy selects the replacement policy of a cache level.
+type ReplPolicy string
+
+// The supported replacement policies.
+const (
+	// ReplLRU is true least-recently-used (the Table IV default).
+	ReplLRU ReplPolicy = "lru"
+	// ReplSRRIP is static re-reference interval prediction with 2-bit
+	// RRPVs (Jaleel et al.), a scan-resistant alternative used by the
+	// replacement ablation bench.
+	ReplSRRIP ReplPolicy = "srrip"
+	// ReplRandom picks victims pseudo-randomly (deterministically seeded).
+	ReplRandom ReplPolicy = "random"
+)
+
+// Config sizes a cache level.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency uint64 // hit latency in cycles
+	MSHRs   int
+	// Repl selects the replacement policy; empty means LRU.
+	Repl ReplPolicy
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets %d must be a positive power of two", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs %d must be positive", c.Name, c.MSHRs)
+	}
+	switch c.Repl {
+	case "", ReplLRU, ReplSRRIP, ReplRandom:
+	default:
+		return fmt.Errorf("cache %s: unknown replacement policy %q", c.Name, c.Repl)
+	}
+	return nil
+}
+
+// SizeBytes returns the capacity of the configuration.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineSize }
+
+type inflight struct {
+	issue       uint64 // cycle the fill request entered this level
+	ready       uint64
+	prefetch    bool
+	pageCross   bool
+	filterTag   any
+	demandMerge bool // a demand access merged while in flight
+}
+
+// Cache is one physically-tagged cache level.
+type Cache struct {
+	cfg   Config
+	lower Level
+	sets  [][]Block
+	clock uint64 // monotonic LRU counter
+	rng   uint64 // state for random replacement
+	// missLatEWMA tracks the typical demand full-miss latency at this
+	// level; the merge-usefulness test compares against it.
+	missLatEWMA uint64
+
+	outstanding map[uint64]*inflight // line ID → in-flight fill
+
+	// Stats is exported by pointer so the simulator aggregates it directly.
+	Stats *stats.CacheStats
+
+	// OnEvict fires when a valid block is evicted.
+	OnEvict func(EvictInfo)
+	// OnDemandHit fires when a demand access hits a resident block.
+	OnDemandHit func(HitInfo)
+	// OnDemandMiss fires when a demand access misses entirely (no resident
+	// block and no in-flight fill).
+	OnDemandMiss func(req *Request)
+	// OnFill fires when a block is installed.
+	OnFill func(pa mem.PAddr, prefetch, pageCross bool)
+}
+
+// New builds a cache on top of lower.
+func New(cfg Config, lower Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lower == nil {
+		return nil, fmt.Errorf("cache %s: nil lower level", cfg.Name)
+	}
+	sets := make([][]Block, cfg.Sets)
+	blocks := make([]Block, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], blocks = blocks[:cfg.Ways], blocks[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:         cfg,
+		lower:       lower,
+		sets:        sets,
+		outstanding: make(map[uint64]*inflight),
+		missLatEWMA: 300, // sane prior until real misses calibrate it
+		Stats:       &stats.CacheStats{},
+	}, nil
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Config returns the configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(pa mem.PAddr) uint64 {
+	return pa.LineID() & uint64(c.cfg.Sets-1)
+}
+
+func (c *Cache) tag(pa mem.PAddr) uint64 {
+	return pa.LineID() >> uint(log2(c.cfg.Sets))
+}
+
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// lookup returns the resident block for pa, or nil.
+func (c *Cache) lookup(pa mem.PAddr) *Block {
+	set := c.sets[c.setIndex(pa)]
+	tag := c.tag(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// gcOutstanding retires completed MSHR entries.
+func (c *Cache) gcOutstanding(cycle uint64) {
+	for id, fl := range c.outstanding {
+		if fl.ready <= cycle {
+			delete(c.outstanding, id)
+		}
+	}
+}
+
+// MissLatencyEstimate returns the cache's running estimate of a demand
+// full-miss latency (EWMA), a diagnostic for timeliness studies.
+func (c *Cache) MissLatencyEstimate() uint64 { return c.missLatEWMA }
+
+// OutstandingMisses reports the number of in-flight fills at the given
+// cycle; the adaptive thresholding scheme uses it as ROB/L1D pressure input.
+func (c *Cache) OutstandingMisses(cycle uint64) int {
+	c.gcOutstanding(cycle)
+	return len(c.outstanding)
+}
+
+// Access implements Level.
+func (c *Cache) Access(req *Request, cycle uint64) uint64 {
+	ready := c.access(req, cycle)
+	if req.Type.IsDemand() && ready > cycle {
+		c.Stats.DemandLatencySum += ready - cycle
+	}
+	return ready
+}
+
+func (c *Cache) access(req *Request, cycle uint64) uint64 {
+	c.gcOutstanding(cycle)
+	demand := req.Type.IsDemand()
+	if demand {
+		c.Stats.DemandAccesses++
+	}
+
+	if req.Type == mem.Writeback {
+		return c.accessWriteback(req, cycle)
+	}
+
+	// Resident hit. A block whose fill has not completed yet is an MSHR
+	// merge: the access waits for the fill and is accounted as a miss
+	// (ChampSim semantics), but usefulness tracking proceeds as for a hit
+	// so that late-but-useful prefetches are credited.
+	//
+	// A block whose fill was ISSUED after this access's cycle is invisible:
+	// the simulator processes prefetches eagerly in program order, but a
+	// prefetch issued at walk-completion time must not serve (or delay) a
+	// demand that arrives before it physically existed. Such a demand
+	// misses and fetches independently; the overtaken prefetch is wasted.
+	if b := c.lookup(req.PA); b != nil && cycle >= b.issue {
+		c.touch(b)
+		ready := cycle + c.cfg.Latency
+		merged := b.ready > ready
+		if merged {
+			ready = b.ready
+		}
+		if demand {
+			if merged {
+				c.Stats.DemandMisses++
+			} else {
+				c.Stats.DemandHits++
+			}
+			first := !b.servedHit
+			if b.prefetch && first {
+				c.Stats.UsefulPrefetches++
+				if b.pageCross {
+					c.Stats.PGCUseful++
+				}
+			}
+			b.servedHit = true
+			if req.Type == mem.Store {
+				b.dirty = true
+			}
+			if c.OnDemandHit != nil {
+				c.OnDemandHit(HitInfo{
+					PA: req.PA, VA: req.VA, PC: req.PC,
+					Prefetch: b.prefetch, PageCross: b.pageCross,
+					FilterTag: b.filterTag, FirstHit: first,
+				})
+			}
+		} else if req.Type == mem.Prefetch {
+			c.Stats.PrefetchHits++
+		}
+		return ready
+	}
+
+	// In-flight merge. The block was installed eagerly at miss time, so a
+	// demand merging into a prefetch MSHR must update the resident block's
+	// usefulness the same way a post-fill hit would (late-but-useful
+	// prefetch).
+	if fl, ok := c.outstanding[req.PA.LineID()]; ok && cycle >= fl.issue {
+		if demand {
+			c.Stats.DemandMisses++
+			fl.demandMerge = true
+			if b := c.lookup(req.PA); b != nil {
+				if b.prefetch && !b.servedHit {
+					c.Stats.UsefulPrefetches++
+					if b.pageCross {
+						c.Stats.PGCUseful++
+					}
+				}
+				b.servedHit = true
+				if req.Type == mem.Store {
+					b.dirty = true
+				}
+			}
+		} else if req.Type == mem.Prefetch {
+			c.Stats.PrefetchHits++
+		}
+		ready := fl.ready
+		if min := cycle + c.cfg.Latency; ready < min {
+			ready = min
+		}
+		return ready
+	}
+
+	// Full miss.
+	if demand {
+		c.Stats.DemandMisses++
+		if c.OnDemandMiss != nil {
+			c.OnDemandMiss(req)
+		}
+	}
+	if req.Type == mem.Prefetch && len(c.outstanding) >= c.cfg.MSHRs {
+		// Prefetches are dropped when MSHRs are exhausted.
+		c.Stats.MSHRDropPrefetch++
+		return cycle
+	}
+	issue := cycle
+	if len(c.outstanding) >= c.cfg.MSHRs {
+		c.Stats.MSHRFullWaits++
+		// Demand miss with full MSHRs: wait for the earliest completion.
+		earliest := ^uint64(0)
+		for _, fl := range c.outstanding {
+			if fl.ready < earliest {
+				earliest = fl.ready
+			}
+		}
+		issue = earliest
+		c.gcOutstanding(issue)
+	}
+
+	lowReq := *req
+	ready := c.lower.Access(&lowReq, issue+c.cfg.Latency)
+
+	fl := &inflight{
+		issue:     issue,
+		ready:     ready,
+		prefetch:  req.Type == mem.Prefetch,
+		pageCross: req.IsPageCross && req.Type == mem.Prefetch,
+		filterTag: req.FilterTag,
+	}
+	if demand {
+		fl.demandMerge = true
+	}
+	c.outstanding[req.PA.LineID()] = fl
+	if demand && ready > cycle {
+		c.missLatEWMA = (c.missLatEWMA*7 + (ready - cycle)) / 8
+	}
+	c.fill(req, fl, issue, ready)
+	return ready
+}
+
+// touch updates replacement state on a hit.
+func (c *Cache) touch(b *Block) {
+	switch c.cfg.Repl {
+	case ReplSRRIP:
+		b.lru = 0 // RRPV: re-referenced soon
+	case ReplRandom:
+		// Random replacement keeps no reuse state.
+	default: // LRU
+		c.clock++
+		b.lru = c.clock
+	}
+}
+
+// victimIn picks the way to replace in a set, per the configured policy.
+func (c *Cache) victimIn(set []Block) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Repl {
+	case ReplSRRIP:
+		// Find an RRPV-3 block, aging the set until one exists.
+		for {
+			for i := range set {
+				if set[i].lru >= 3 {
+					return i
+				}
+			}
+			for i := range set {
+				set[i].lru++
+			}
+		}
+	case ReplRandom:
+		c.rng = c.rng*6364136223846793005 + 1442695040888963407
+		return int((c.rng >> 33) % uint64(len(set)))
+	default: // LRU
+		victim := 0
+		var oldest uint64 = ^uint64(0)
+		for i := range set {
+			if set[i].lru < oldest {
+				oldest = set[i].lru
+				victim = i
+			}
+		}
+		return victim
+	}
+}
+
+// fillStamp is the replacement state of a freshly installed block.
+func (c *Cache) fillStamp() uint64 {
+	switch c.cfg.Repl {
+	case ReplSRRIP:
+		return 2 // RRPV: long re-reference interval
+	case ReplRandom:
+		return 0
+	default:
+		c.clock++
+		return c.clock
+	}
+}
+
+// fill installs the line, evicting a victim if needed. When the same line
+// is already resident (a demand overtook a not-yet-issued prefetch, or vice
+// versa), the existing block is replaced in place so a set never holds two
+// copies of one tag.
+func (c *Cache) fill(req *Request, fl *inflight, issue, ready uint64) {
+	set := c.sets[c.setIndex(req.PA)]
+	b := c.lookup(req.PA)
+	if b == nil {
+		b = &set[c.victimIn(set)]
+	}
+	if b.valid {
+		c.evict(b)
+	}
+	isPrefetch := req.Type == mem.Prefetch
+	*b = Block{
+		valid:     true,
+		dirty:     req.Type == mem.Store,
+		pa:        req.PA.Line(),
+		tag:       c.tag(req.PA),
+		lru:       c.fillStamp(),
+		issue:     issue,
+		ready:     ready,
+		prefetch:  isPrefetch,
+		pageCross: fl.pageCross,
+		servedHit: fl.demandMerge && !isPrefetch,
+		filterTag: req.FilterTag,
+	}
+	if isPrefetch {
+		c.Stats.PrefetchFills++
+		if fl.pageCross {
+			c.Stats.PGCIssued++
+		}
+	}
+	if c.OnFill != nil {
+		c.OnFill(req.PA, isPrefetch, fl.pageCross)
+	}
+}
+
+// evict notifies hooks, accounts stats and issues a writeback for dirty data.
+func (c *Cache) evict(b *Block) {
+	c.Stats.Evictions++
+	if b.prefetch && !b.servedHit {
+		c.Stats.UselessPrefetches++
+		if b.pageCross {
+			c.Stats.PGCUseless++
+		}
+	}
+	if b.dirty {
+		c.Stats.Writebacks++
+	}
+	if c.OnEvict != nil {
+		c.OnEvict(EvictInfo{
+			PA:        b.pa,
+			Prefetch:  b.prefetch,
+			PageCross: b.pageCross,
+			ServedHit: b.servedHit,
+			FilterTag: b.filterTag,
+			Dirty:     b.dirty,
+		})
+	}
+}
+
+// accessWriteback installs or updates a dirty line without a fill from below.
+func (c *Cache) accessWriteback(req *Request, cycle uint64) uint64 {
+	if b := c.lookup(req.PA); b != nil {
+		b.dirty = true
+		return cycle + c.cfg.Latency
+	}
+	// Non-inclusive hierarchy: writebacks that miss are forwarded down.
+	low := *req
+	return c.lower.Access(&low, cycle+c.cfg.Latency)
+}
+
+// Contains reports whether the line holding pa is resident (test helper and
+// ISO-storage bookkeeping).
+func (c *Cache) Contains(pa mem.PAddr) bool { return c.lookup(pa) != nil }
+
+// ServedHit reports whether a resident block has served a demand hit.
+func (c *Cache) ServedHit(pa mem.PAddr) (served, resident bool) {
+	if b := c.lookup(pa); b != nil {
+		return b.servedHit, true
+	}
+	return false, false
+}
+
+// Flush invalidates all blocks, firing eviction hooks. Used when a core
+// finishes its trace in multi-core replay.
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			b := &c.sets[si][wi]
+			if b.valid {
+				c.evict(b)
+				b.valid = false
+			}
+		}
+	}
+	c.outstanding = make(map[uint64]*inflight)
+}

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// goldenSet is a reference LRU set model: a slice ordered most-recent-first.
+type goldenSet struct {
+	lines []uint64 // line IDs, MRU first
+	ways  int
+}
+
+func (g *goldenSet) access(line uint64) (hit bool) {
+	for i, l := range g.lines {
+		if l == line {
+			copy(g.lines[1:i+1], g.lines[:i])
+			g.lines[0] = line
+			return true
+		}
+	}
+	g.lines = append([]uint64{line}, g.lines...)
+	if len(g.lines) > g.ways {
+		g.lines = g.lines[:g.ways]
+	}
+	return false
+}
+
+// TestCacheMatchesGoldenLRU replays a long pseudo-random demand-load
+// sequence (spaced so no fill is ever in flight) against both the cache and
+// a trivially-correct LRU model, asserting identical hit/miss behaviour on
+// every access.
+func TestCacheMatchesGoldenLRU(t *testing.T) {
+	const sets, ways = 8, 4
+	lower := &fakeLower{latency: 5}
+	c, err := New(Config{Name: "g", Sets: sets, Ways: ways, Latency: 1, MSHRs: 8}, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]goldenSet, sets)
+	for i := range golden {
+		golden[i].ways = ways
+	}
+
+	x := uint64(42)
+	cycle := uint64(0)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		// 64 distinct lines over 8 sets: plenty of conflict.
+		line := (x >> 33) % 64
+		pa := mem.PAddr(line << mem.LineBits)
+
+		missesBefore := c.Stats.DemandMisses
+		c.Access(load(pa), cycle)
+		gotHit := c.Stats.DemandMisses == missesBefore
+
+		wantHit := golden[line%sets].access(line)
+		if gotHit != wantHit {
+			t.Fatalf("access %d (line %d): cache hit=%v, golden hit=%v", i, line, gotHit, wantHit)
+		}
+		cycle += 100 // always past any outstanding fill
+	}
+	if c.Stats.DemandHits == 0 || c.Stats.DemandMisses == 0 {
+		t.Fatal("degenerate sequence: no hits or no misses")
+	}
+
+	// Final resident sets must match exactly.
+	for s := 0; s < sets; s++ {
+		for _, line := range golden[s].lines {
+			if !c.Contains(mem.PAddr(line << mem.LineBits)) {
+				t.Fatalf("golden line %d resident but missing from cache", line)
+			}
+		}
+	}
+}
+
+// TestCacheMatchesGoldenWithPrefetches extends the differential test with
+// interleaved prefetches: prefetch fills must behave exactly like demand
+// fills for residency purposes.
+func TestCacheMatchesGoldenWithPrefetches(t *testing.T) {
+	const sets, ways = 4, 2
+	lower := &fakeLower{latency: 5}
+	c, err := New(Config{Name: "g2", Sets: sets, Ways: ways, Latency: 1, MSHRs: 8}, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]goldenSet, sets)
+	for i := range golden {
+		golden[i].ways = ways
+	}
+
+	x := uint64(7)
+	cycle := uint64(0)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		line := (x >> 33) % 24
+		pa := mem.PAddr(line << mem.LineBits)
+		if x&1 == 0 {
+			c.Access(load(pa), cycle)
+		} else {
+			c.Access(&Request{PA: pa, Type: mem.Prefetch}, cycle)
+		}
+		golden[line%sets].access(line)
+		cycle += 100
+
+		// Residency must agree after every access.
+		if i%500 == 0 {
+			for s := 0; s < sets; s++ {
+				for _, l := range golden[s].lines {
+					if !c.Contains(mem.PAddr(l << mem.LineBits)) {
+						t.Fatalf("access %d: golden line %d missing from cache", i, l)
+					}
+				}
+			}
+		}
+	}
+}

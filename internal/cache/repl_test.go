@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func replCache(t *testing.T, repl ReplPolicy) (*Cache, *fakeLower) {
+	t.Helper()
+	lower := &fakeLower{latency: 10}
+	c, err := New(Config{Name: "r", Sets: 1, Ways: 4, Latency: 1, MSHRs: 8, Repl: repl}, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, lower
+}
+
+func TestConfigRejectsUnknownRepl(t *testing.T) {
+	cfg := Config{Name: "x", Sets: 4, Ways: 2, MSHRs: 2, Repl: "plru"}
+	if _, err := New(cfg, &fakeLower{}); err == nil {
+		t.Fatal("unknown replacement policy accepted")
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// A hot working set that fits plus a scanning stream: SRRIP should keep
+	// more of the hot set resident than it evicts, because scan blocks age
+	// out at RRPV 2-3 while reused blocks sit at RRPV 0.
+	c, _ := replCache(t, ReplSRRIP)
+	hot := []mem.PAddr{0x0000, 0x0040, 0x0080} // 3 hot lines, 4 ways
+	for round := 0; round < 8; round++ {
+		for _, pa := range hot {
+			c.Access(load(pa), uint64(round*100))
+		}
+		// One scan line per round, never reused.
+		c.Access(load(mem.PAddr(0x10000+round*0x40)), uint64(round*100+50))
+	}
+	resident := 0
+	for _, pa := range hot {
+		if c.Contains(pa) {
+			resident++
+		}
+	}
+	if resident < 2 {
+		t.Fatalf("only %d/3 hot lines survive the scan under SRRIP", resident)
+	}
+}
+
+func TestRandomReplacementEventuallyEvicts(t *testing.T) {
+	c, _ := replCache(t, ReplRandom)
+	for i := 0; i < 64; i++ {
+		c.Access(load(mem.PAddr(i*0x40)), uint64(i*10))
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("random replacement never evicted in an overfull set")
+	}
+	// Determinism: a fresh cache with the same sequence evicts identically.
+	c2, _ := replCache(t, ReplRandom)
+	for i := 0; i < 64; i++ {
+		c2.Access(load(mem.PAddr(i*0x40)), uint64(i*10))
+	}
+	if c2.Stats.Evictions != c.Stats.Evictions {
+		t.Fatal("random replacement is not deterministic")
+	}
+}
+
+func TestAllPoliciesPreserveInvariant(t *testing.T) {
+	// Under any policy, a set never holds two blocks with the same tag and
+	// the resident count never exceeds the way count.
+	for _, repl := range []ReplPolicy{ReplLRU, ReplSRRIP, ReplRandom} {
+		c, _ := replCache(t, repl)
+		x := uint64(99)
+		for i := 0; i < 500; i++ {
+			x = x*6364136223846793005 + 1
+			pa := mem.PAddr((x >> 20) % 32 * 0x40)
+			c.Access(load(pa), uint64(i*3))
+		}
+		seen := map[uint64]bool{}
+		count := 0
+		for _, b := range c.sets[0] {
+			if !b.valid {
+				continue
+			}
+			count++
+			if seen[b.tag] {
+				t.Fatalf("%s: duplicate tag %#x in set", repl, b.tag)
+			}
+			seen[b.tag] = true
+		}
+		if count > c.cfg.Ways {
+			t.Fatalf("%s: %d resident blocks in a %d-way set", repl, count, c.cfg.Ways)
+		}
+	}
+}

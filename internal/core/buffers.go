@@ -1,0 +1,83 @@
+package core
+
+// Tag records which weights produced one prediction so training can update
+// exactly those weights (the "hash indexes" stored alongside addresses in
+// the update buffers, §III-B). ProgIdx holds one weight-table index per
+// selected program feature; SysIdx lists the system features that were
+// active when the decision was made.
+type Tag struct {
+	ProgIdx []int
+	SysIdx  []int
+}
+
+type ubEntry struct {
+	key   uint64 // virtual line address (vUB) or physical line address (pUB)
+	tag   Tag
+	stamp uint64
+	valid bool
+}
+
+// UpdateBuffer is the common structure behind the Virtual and Physical
+// Update Buffers: a tiny fully-associative buffer of (address, hash
+// indexes) pairs with FIFO replacement.
+type UpdateBuffer struct {
+	entries []ubEntry
+	clock   uint64
+}
+
+// NewUpdateBuffer builds a buffer with the given capacity.
+func NewUpdateBuffer(capacity int) *UpdateBuffer {
+	return &UpdateBuffer{entries: make([]ubEntry, capacity)}
+}
+
+// Insert records key with its tag, evicting the oldest entry when full.
+// Re-inserting an existing key refreshes its tag.
+func (b *UpdateBuffer) Insert(key uint64, tag Tag) {
+	b.clock++
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.key == key {
+			e.tag = tag
+			e.stamp = b.clock
+			return
+		}
+		if !e.valid {
+			victim = i
+			oldest = 0
+			continue
+		}
+		if oldest != 0 && e.stamp < oldest {
+			oldest = e.stamp
+			victim = i
+		}
+	}
+	b.entries[victim] = ubEntry{key: key, tag: tag, stamp: b.clock, valid: true}
+}
+
+// Take removes and returns the entry for key.
+func (b *UpdateBuffer) Take(key uint64) (Tag, bool) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.key == key {
+			e.valid = false
+			return e.tag, true
+		}
+	}
+	return Tag{}, false
+}
+
+// Len counts valid entries.
+func (b *UpdateBuffer) Len() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap returns the capacity.
+func (b *UpdateBuffer) Cap() int { return len(b.entries) }

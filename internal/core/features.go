@@ -1,0 +1,237 @@
+// Package core implements the paper's contribution: the MOKA framework for
+// building Page-Cross Filters (§III), and the concrete filters the
+// evaluation compares — DRIPPER (Table II), PPF and PPF+Dthr (§V-A), and
+// the static Permit/Discard/Discard-PTW policies.
+//
+// A Page-Cross Filter predicts, for every prefetch that crosses a 4KB page
+// boundary, whether issuing it will be useful. The prediction sums hashed
+// perceptron weights selected by prefetcher-independent program features
+// (Table I) and saturating-counter weights of system features that are
+// consulted only when the system state matches their phase (§III-D2), then
+// compares the sum against an activation threshold tuned at runtime by an
+// epoch-based adaptive scheme (Fig. 8). Training is driven by L1D events
+// through two small buffers: the Virtual Update Buffer captures false
+// negatives (discarded prefetches that later missed) and the Physical
+// Update Buffer tracks issued prefetches to reward or punish them at
+// demand-hit and eviction time (Fig. 7).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Input carries the program-visible context of one prefetch decision: the
+// triggering load plus short PC/VA history, and the prefetcher's delta.
+// All Table I program features are functions of this struct.
+type Input struct {
+	// PC is the program counter of the triggering load.
+	PC uint64
+	// VA is the virtual address of the triggering load.
+	VA uint64
+	// Delta is the prefetch displacement in cache lines.
+	Delta int64
+	// PrevVA1 and PrevVA2 are the previous two demand-load VAs (VA_{i-1},
+	// VA_{i-2} in Table I).
+	PrevVA1, PrevVA2 uint64
+	// PrevPC1 and PrevPC2 are the previous two load PCs.
+	PrevPC1, PrevPC2 uint64
+	// FirstPageAccess reports whether the triggering load is the first
+	// observed access to its 4KB page.
+	FirstPageAccess bool
+	// Meta is the prefetcher's own metadata for the candidate (Berti:
+	// delta confidence, BOP: round score, IPCP: class). Zero when the
+	// engine exports none. §III-D1 suggests metadata-specialised features
+	// as an extension; the "Meta" features implement it.
+	Meta uint64
+}
+
+func (in Input) lineOffset() uint64 {
+	return (in.VA >> mem.LineBits) & (mem.LinesPerPage - 1)
+}
+
+func (in Input) firstBit() uint64 {
+	if in.FirstPageAccess {
+		return 1
+	}
+	return 0
+}
+
+// ProgramFeature is one Table I feature: a named pure function of Input.
+type ProgramFeature struct {
+	Name    string
+	Extract func(Input) uint64
+}
+
+// programFeatures is the Table I bouquet (plus the plain Delta feature that
+// Table II selects for Berti).
+var programFeatures = []ProgramFeature{
+	{"VA", func(in Input) uint64 { return in.VA }},
+	{"VA>>12", func(in Input) uint64 { return in.VA >> 12 }},
+	{"VA>>21", func(in Input) uint64 { return in.VA >> 21 }},
+	{"CacheLineOffset", func(in Input) uint64 { return in.lineOffset() }},
+	{"PC", func(in Input) uint64 { return in.PC }},
+	{"PC+CacheLineOffset", func(in Input) uint64 { return in.PC + in.lineOffset() }},
+	{"VAi2^VAi1^VAi", func(in Input) uint64 { return in.PrevVA2 ^ in.PrevVA1 ^ in.VA }},
+	{"(VAi2>>12)^(VAi1>>12)^(VAi>>12)", func(in Input) uint64 {
+		return (in.PrevVA2 >> 12) ^ (in.PrevVA1 >> 12) ^ (in.VA >> 12)
+	}},
+	{"PCi2^PCi1^PCi", func(in Input) uint64 { return in.PrevPC2 ^ in.PrevPC1 ^ in.PC }},
+	{"PC^VA", func(in Input) uint64 { return in.PC ^ in.VA }},
+	{"PC^(VA>>12)", func(in Input) uint64 { return in.PC ^ (in.VA >> 12) }},
+	{"VA^Delta", func(in Input) uint64 { return in.VA ^ uint64(in.Delta) }},
+	{"PC^Delta", func(in Input) uint64 { return in.PC ^ uint64(in.Delta) }},
+	{"(VA>>12)^Delta", func(in Input) uint64 { return (in.VA >> 12) ^ uint64(in.Delta) }},
+	{"PC^FirstPageAccess", func(in Input) uint64 { return in.PC ^ in.firstBit() }},
+	{"VA^FirstPageAccess", func(in Input) uint64 { return in.VA ^ in.firstBit() }},
+	{"(VA>>12)^FirstPageAccess", func(in Input) uint64 { return (in.VA >> 12) ^ in.firstBit() }},
+	{"CacheLineOffset+FirstPageAccess", func(in Input) uint64 { return in.lineOffset() + in.firstBit() }},
+	{"Delta+FirstPageAccess", func(in Input) uint64 { return uint64(in.Delta) + in.firstBit() }},
+	{"Delta", func(in Input) uint64 { return uint64(in.Delta) }},
+
+	// The wider bouquet (§III-D1 reports 55 crafted features; Table I is
+	// the best-performing subset). These rounds out the framework with
+	// address/PC/history/delta combinations and the metadata-specialised
+	// features the paper proposes as an extension.
+	{"VA>>6", func(in Input) uint64 { return in.VA >> 6 }},
+	{"PC>>4", func(in Input) uint64 { return in.PC >> 4 }},
+	{"PC+Delta", func(in Input) uint64 { return in.PC + uint64(in.Delta) }},
+	{"VA+Delta", func(in Input) uint64 { return in.VA + uint64(in.Delta) }},
+	{"PC^(VA>>6)", func(in Input) uint64 { return in.PC ^ (in.VA >> 6) }},
+	{"PC^CacheLineOffset", func(in Input) uint64 { return in.PC ^ in.lineOffset() }},
+	{"Delta^CacheLineOffset", func(in Input) uint64 { return uint64(in.Delta) ^ in.lineOffset() }},
+	{"(PC>>4)^Delta", func(in Input) uint64 { return (in.PC >> 4) ^ uint64(in.Delta) }},
+	{"VAi1^VAi", func(in Input) uint64 { return in.PrevVA1 ^ in.VA }},
+	{"PCi1^PCi", func(in Input) uint64 { return in.PrevPC1 ^ in.PC }},
+	{"(VAi1>>12)^(VAi>>12)", func(in Input) uint64 { return (in.PrevVA1 >> 12) ^ (in.VA >> 12) }},
+	{"DeltaSign", func(in Input) uint64 {
+		if in.Delta < 0 {
+			return 1
+		}
+		return 0
+	}},
+	{"Delta>>2", func(in Input) uint64 { return uint64(in.Delta >> 2) }},
+	{"PC^Delta^FirstPageAccess", func(in Input) uint64 {
+		return in.PC ^ uint64(in.Delta) ^ in.firstBit()
+	}},
+	{"Meta", func(in Input) uint64 { return in.Meta }},
+	{"PC^Meta", func(in Input) uint64 { return in.PC ^ in.Meta }},
+	{"Delta^Meta", func(in Input) uint64 { return uint64(in.Delta) ^ in.Meta }},
+}
+
+// ProgramFeatureNames lists every available program feature.
+func ProgramFeatureNames() []string {
+	names := make([]string, len(programFeatures))
+	for i, f := range programFeatures {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// LookupProgramFeature resolves a feature by name.
+func LookupProgramFeature(name string) (ProgramFeature, error) {
+	for _, f := range programFeatures {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return ProgramFeature{}, fmt.Errorf("core: unknown program feature %q", name)
+}
+
+// SystemState is the per-epoch snapshot of the system the filter runs in.
+// MPKIs and miss rates are computed over the last epoch, not cumulatively,
+// so the filter reacts to phase changes.
+type SystemState struct {
+	L1DMPKI      float64
+	L1DMissRate  float64
+	LLCMPKI      float64
+	LLCMissRate  float64
+	STLBMPKI     float64
+	STLBMissRate float64
+
+	L1IMPKI float64
+	IPC     float64
+	// ROBPressure is mean ROB occupancy / ROB size in [0,1].
+	ROBPressure float64
+	// InflightL1DMisses is the current number of outstanding L1D misses.
+	InflightL1DMisses int
+	// PGCUseful/PGCUseless count page-cross prefetch outcomes observed
+	// during the epoch.
+	PGCUseful, PGCUseless uint64
+}
+
+// PGCAccuracy returns the epoch's page-cross accuracy, or -1 when no
+// outcome was observed (callers must not steer on an empty sample).
+func (s SystemState) PGCAccuracy() float64 {
+	tot := s.PGCUseful + s.PGCUseless
+	if tot == 0 {
+		return -1
+	}
+	return float64(s.PGCUseful) / float64(tot)
+}
+
+// SystemFeature is one §III-D2 feature: it contributes its saturating
+// counter to the decision only while the monitored metric is on the
+// configured side of its threshold.
+type SystemFeature struct {
+	Name string
+	// Value extracts the monitored metric from the state snapshot.
+	Value func(SystemState) float64
+	// Threshold is the activation threshold T_sf.
+	Threshold float64
+	// ActiveBelow selects the comparison: true → active when value <
+	// threshold (e.g. sTLB MPKI targets low-pressure phases), false →
+	// active when value > threshold (e.g. sTLB Miss Rate targets
+	// high-pressure phases).
+	ActiveBelow bool
+}
+
+// Active reports whether the feature participates in decisions under state.
+func (f SystemFeature) Active(state SystemState) bool {
+	v := f.Value(state)
+	if f.ActiveBelow {
+		return v < f.Threshold
+	}
+	return v > f.Threshold
+}
+
+// systemFeatures is the Table I system-feature set with the default
+// thresholds used by DRIPPER. MPKI features target low-pressure phases and
+// miss-rate features target high-pressure phases (§III-E).
+var systemFeatures = []SystemFeature{
+	{"L1D MPKI", func(s SystemState) float64 { return s.L1DMPKI }, 10, true},
+	{"L1D MissRate", func(s SystemState) float64 { return s.L1DMissRate }, 0.30, false},
+	{"LLC MPKI", func(s SystemState) float64 { return s.LLCMPKI }, 2, true},
+	{"LLC MissRate", func(s SystemState) float64 { return s.LLCMissRate }, 0.50, false},
+	{"sTLB MPKI", func(s SystemState) float64 { return s.STLBMPKI }, 1, true},
+	{"sTLB MissRate", func(s SystemState) float64 { return s.STLBMissRate }, 0.20, false},
+}
+
+// SystemFeatureNames lists every available system feature.
+func SystemFeatureNames() []string {
+	names := make([]string, len(systemFeatures))
+	for i, f := range systemFeatures {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// LookupSystemFeature resolves a system feature by name.
+func LookupSystemFeature(name string) (SystemFeature, error) {
+	for _, f := range systemFeatures {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return SystemFeature{}, fmt.Errorf("core: unknown system feature %q", name)
+}
+
+// AllFeatureNames returns the union of program and system feature names,
+// sorted, for the offline selection harness.
+func AllFeatureNames() []string {
+	names := append(ProgramFeatureNames(), SystemFeatureNames()...)
+	sort.Strings(names)
+	return names
+}

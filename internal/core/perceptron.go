@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// WeightTable is one hashed-perceptron weight table: a power-of-two array
+// of signed saturating counters indexed by a hash of a program-feature
+// value (§III-B "Perceptron Predictors").
+type WeightTable struct {
+	weights []int8
+	min     int8
+	max     int8
+	mask    uint64
+}
+
+// NewWeightTable builds a table with the given entry count (power of two)
+// and counter width in bits (e.g. 5 → range [-16, 15]).
+func NewWeightTable(entries, bits int) (*WeightTable, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("core: weight table entries %d must be a positive power of two", entries)
+	}
+	if bits < 2 || bits > 8 {
+		return nil, fmt.Errorf("core: weight bits %d out of [2,8]", bits)
+	}
+	return &WeightTable{
+		weights: make([]int8, entries),
+		min:     int8(-(1 << (bits - 1))),
+		max:     int8(1<<(bits-1) - 1),
+		mask:    uint64(entries - 1),
+	}, nil
+}
+
+// Index hashes a feature value to a table index.
+func (t *WeightTable) Index(value uint64) int {
+	h := value * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return int(h & t.mask)
+}
+
+// Weight returns the counter at idx.
+func (t *WeightTable) Weight(idx int) int { return int(t.weights[idx]) }
+
+// Train moves the counter at idx up (positive) or down, saturating.
+func (t *WeightTable) Train(idx int, positive bool) {
+	w := t.weights[idx]
+	if positive {
+		if w < t.max {
+			t.weights[idx] = w + 1
+		}
+	} else if w > t.min {
+		t.weights[idx] = w - 1
+	}
+}
+
+// Entries returns the table size.
+func (t *WeightTable) Entries() int { return len(t.weights) }
+
+// Bits returns the counter width.
+func (t *WeightTable) Bits() int {
+	b := 2
+	for int8(1<<(b-1)-1) != t.max {
+		b++
+	}
+	return b
+}
+
+// SatCounter is a standalone signed saturating counter; the system-feature
+// weights are SatCounters (§III-B "Saturating Counters for System
+// Features").
+type SatCounter struct {
+	value int8
+	min   int8
+	max   int8
+}
+
+// NewSatCounter builds a counter with the given width in bits.
+func NewSatCounter(bits int) (*SatCounter, error) {
+	if bits < 2 || bits > 8 {
+		return nil, fmt.Errorf("core: counter bits %d out of [2,8]", bits)
+	}
+	return &SatCounter{min: int8(-(1 << (bits - 1))), max: int8(1<<(bits-1) - 1)}, nil
+}
+
+// Value returns the current counter value.
+func (c *SatCounter) Value() int { return int(c.value) }
+
+// Train moves the counter, saturating.
+func (c *SatCounter) Train(positive bool) {
+	if positive {
+		if c.value < c.max {
+			c.value++
+		}
+	} else if c.value > c.min {
+		c.value--
+	}
+}

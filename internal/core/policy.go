@@ -1,0 +1,149 @@
+package core
+
+// Policy is the page-cross prefetching policy the simulator consults for
+// every prefetch candidate that crosses a 4KB page boundary. The paper's
+// comparison (§V-A) is a comparison between implementations of this
+// interface.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns whether to issue the page-cross prefetch, whether a
+	// speculative page walk is permitted if the translation misses the
+	// TLBs, and a tag the simulator hands back through the Record/On
+	// hooks. Policies without training return a zero tag.
+	Decide(in Input) (issue, allowWalk bool, tag Tag)
+	// RecordIssue is called with the physical line address after an issued
+	// page-cross prefetch has been translated.
+	RecordIssue(paLine uint64, tag Tag)
+	// RecordDiscard is called with the virtual line address of a candidate
+	// that was not issued (either Decide said no, or the walk was denied).
+	RecordDiscard(vaLine uint64, tag Tag)
+	// OnDemandMiss observes every L1D demand miss (virtual line address).
+	OnDemandMiss(vaLine uint64)
+	// OnDemandHitPCB observes demand hits on blocks with the PCB set.
+	OnDemandHitPCB(paLine uint64)
+	// OnEvictPCB observes evictions of blocks with the PCB set.
+	OnEvictPCB(paLine uint64, servedHit bool)
+	// Tick delivers the per-epoch system snapshot.
+	Tick(state SystemState)
+}
+
+// nopTraining provides empty training hooks for the static policies.
+type nopTraining struct{}
+
+func (nopTraining) RecordIssue(uint64, Tag)   {}
+func (nopTraining) RecordDiscard(uint64, Tag) {}
+func (nopTraining) OnDemandMiss(uint64)       {}
+func (nopTraining) OnDemandHitPCB(uint64)     {}
+func (nopTraining) OnEvictPCB(uint64, bool)   {}
+func (nopTraining) Tick(SystemState)          {}
+
+// PermitPGC always issues page-cross prefetches and always permits
+// speculative walks ("Permit PGC", §II-C).
+type PermitPGC struct{ nopTraining }
+
+// Name implements Policy.
+func (PermitPGC) Name() string { return "permit-pgc" }
+
+// Decide implements Policy.
+func (PermitPGC) Decide(Input) (bool, bool, Tag) { return true, true, Tag{} }
+
+// DiscardPGC never issues page-cross prefetches ("Discard PGC", the
+// baseline of every figure).
+type DiscardPGC struct{ nopTraining }
+
+// Name implements Policy.
+func (DiscardPGC) Name() string { return "discard-pgc" }
+
+// Decide implements Policy.
+func (DiscardPGC) Decide(Input) (bool, bool, Tag) { return false, false, Tag{} }
+
+// DiscardPTW issues page-cross prefetches only when the translation is
+// already TLB-resident: it forbids speculative page walks ("Discard PTW",
+// §V-A).
+type DiscardPTW struct{ nopTraining }
+
+// Name implements Policy.
+func (DiscardPTW) Name() string { return "discard-ptw" }
+
+// Decide implements Policy.
+func (DiscardPTW) Decide(Input) (bool, bool, Tag) { return true, false, Tag{} }
+
+// FilterPolicy adapts a MOKA Filter to the Policy interface. Issued
+// page-cross prefetches are always allowed to walk speculatively — the
+// filter's value is deciding when that risk pays off.
+type FilterPolicy struct {
+	*Filter
+}
+
+// NewFilterPolicy wraps a filter.
+func NewFilterPolicy(f *Filter) *FilterPolicy { return &FilterPolicy{Filter: f} }
+
+// Decide implements Policy.
+func (p *FilterPolicy) Decide(in Input) (bool, bool, Tag) {
+	issue, tag := p.Filter.Decide(in)
+	return issue, true, tag
+}
+
+// PPFConfig returns the Perceptron-based Prefetch Filtering comparator of
+// §V-A: PPF converted into a page-cross filter. Differences from DRIPPER,
+// per the paper: program features only (no system features), a static
+// activation threshold, and PPF's own feature set minus the SPP-specific
+// metadata features (which have no equivalent outside SPP).
+func PPFConfig() Config {
+	// Slightly negative so untrained entries issue and learn from their
+	// outcomes, as in the original PPF (prefetches train the filter at
+	// issue and eviction).
+	threshold := -1
+	return Config{
+		Name: "ppf",
+		ProgramFeatures: []string{
+			"VA", "VA>>12", "CacheLineOffset", "PC",
+			"PC+CacheLineOffset", "PC^VA",
+		},
+		WTEntries:       1024,
+		WeightBits:      5,
+		VUBEntries:      4,
+		PUBEntries:      128,
+		StaticThreshold: &threshold,
+	}
+}
+
+// PPFDthrConfig returns PPF combined with MOKA's dynamic thresholding
+// scheme ("PPF+Dthr", §V-A).
+func PPFDthrConfig() Config {
+	cfg := PPFConfig()
+	cfg.Name = "ppf+dthr"
+	cfg.StaticThreshold = nil
+	cfg.Adaptive = DefaultAdaptiveConfig()
+	return cfg
+}
+
+// DripperSFConfig returns DRIPPER-SF (§V-B5): DRIPPER's system features
+// without any program feature.
+func DripperSFConfig(prefetcher string) Config {
+	cfg := DefaultDripperConfig(prefetcher)
+	cfg.Name = "dripper-sf"
+	cfg.ProgramFeatures = nil
+	return cfg
+}
+
+// SingleFeatureConfig returns a filter using exactly one feature (program
+// or system), the building block of §III-D3's selection process and of the
+// Fig. 14 comparison.
+func SingleFeatureConfig(feature string) Config {
+	cfg := Config{
+		Name:       "single-" + feature,
+		WTEntries:  1024,
+		WeightBits: 5,
+		VUBEntries: 4,
+		PUBEntries: 128,
+		Adaptive:   DefaultAdaptiveConfig(),
+	}
+	if _, err := LookupSystemFeature(feature); err == nil {
+		cfg.SystemFeatures = []string{feature}
+	} else {
+		cfg.ProgramFeatures = []string{feature}
+	}
+	return cfg
+}

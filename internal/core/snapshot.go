@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// FilterSnapshot is the serialisable learned state of a filter: the
+// perceptron weights and system-feature counters (not the transient update
+// buffers or threshold position). It enables the train-offline /
+// deploy-pretrained workflow: run the seen set once, snapshot, and start
+// production runs warm.
+type FilterSnapshot struct {
+	Name            string
+	ProgramFeatures []string
+	SystemFeatures  []string
+	WeightTables    [][]int8
+	SystemWeights   []int8
+}
+
+// Snapshot captures the filter's learned state.
+func (f *Filter) Snapshot() *FilterSnapshot {
+	snap := &FilterSnapshot{
+		Name:            f.cfg.Name,
+		ProgramFeatures: append([]string(nil), f.cfg.ProgramFeatures...),
+		SystemFeatures:  append([]string(nil), f.cfg.SystemFeatures...),
+	}
+	for _, t := range f.tables {
+		snap.WeightTables = append(snap.WeightTables, append([]int8(nil), t.weights...))
+	}
+	for _, c := range f.sysWts {
+		snap.SystemWeights = append(snap.SystemWeights, c.value)
+	}
+	return snap
+}
+
+// Restore loads a snapshot into the filter. The snapshot must come from a
+// filter with the same feature set and table geometry.
+func (f *Filter) Restore(snap *FilterSnapshot) error {
+	if len(snap.ProgramFeatures) != len(f.cfg.ProgramFeatures) ||
+		len(snap.SystemFeatures) != len(f.cfg.SystemFeatures) {
+		return fmt.Errorf("core: snapshot feature sets do not match filter %q", f.cfg.Name)
+	}
+	for i, name := range snap.ProgramFeatures {
+		if name != f.cfg.ProgramFeatures[i] {
+			return fmt.Errorf("core: snapshot program feature %q != %q", name, f.cfg.ProgramFeatures[i])
+		}
+	}
+	for i, name := range snap.SystemFeatures {
+		if name != f.cfg.SystemFeatures[i] {
+			return fmt.Errorf("core: snapshot system feature %q != %q", name, f.cfg.SystemFeatures[i])
+		}
+	}
+	if len(snap.WeightTables) != len(f.tables) {
+		return fmt.Errorf("core: snapshot has %d weight tables, filter has %d",
+			len(snap.WeightTables), len(f.tables))
+	}
+	for i, w := range snap.WeightTables {
+		if len(w) != len(f.tables[i].weights) {
+			return fmt.Errorf("core: weight table %d size %d != %d", i, len(w), len(f.tables[i].weights))
+		}
+	}
+	for i, w := range snap.WeightTables {
+		copy(f.tables[i].weights, w)
+	}
+	for i, v := range snap.SystemWeights {
+		f.sysWts[i].value = v
+	}
+	return nil
+}
+
+// Encode serialises the snapshot to bytes (gob).
+func (s *FilterSnapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFilterSnapshot deserialises snapshot bytes.
+func DecodeFilterSnapshot(data []byte) (*FilterSnapshot, error) {
+	var s FilterSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}

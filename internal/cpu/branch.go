@@ -1,0 +1,98 @@
+package cpu
+
+// BranchPredictor is the hashed perceptron branch predictor of Table IV
+// (Tarjan & Skadron style): several weight tables, each indexed by a hash
+// of the branch PC with a different segment of the global history register;
+// the prediction is the sign of the summed weights, and training nudges the
+// weights on a misprediction or when the sum's magnitude is below the
+// training threshold.
+//
+// In a trace-driven simulator there is no wrong path to execute; a
+// misprediction costs a front-end bubble (the redirect penalty) charged by
+// the core.
+
+const (
+	bpTables      = 8
+	bpTableBits   = 10 // 1024 entries per table
+	bpWeightMax   = 63
+	bpWeightMin   = -64
+	bpTrainThresh = 20
+	bpHistoryBits = 64
+)
+
+// BranchPredictor holds the perceptron state.
+type BranchPredictor struct {
+	weights [bpTables][1 << bpTableBits]int8
+	history uint64
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewBranchPredictor builds a predictor.
+func NewBranchPredictor() *BranchPredictor { return &BranchPredictor{} }
+
+// indexes computes the per-table indexes for a branch PC with the current
+// history.
+func (p *BranchPredictor) indexes(pc uint64) [bpTables]int {
+	var idx [bpTables]int
+	for t := 0; t < bpTables; t++ {
+		// Each table sees a different history segment.
+		seg := p.history >> uint(t*(bpHistoryBits/bpTables))
+		h := (pc ^ seg*0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+		idx[t] = int((h >> 40) & (1<<bpTableBits - 1))
+	}
+	return idx
+}
+
+// PredictAndTrain predicts the branch, trains against the actual outcome,
+// updates the history, and reports whether the prediction was correct.
+func (p *BranchPredictor) PredictAndTrain(pc uint64, taken bool) bool {
+	p.Lookups++
+	idx := p.indexes(pc)
+	sum := 0
+	for t := 0; t < bpTables; t++ {
+		sum += int(p.weights[t][idx[t]])
+	}
+	predicted := sum >= 0
+	correct := predicted == taken
+	if !correct {
+		p.Mispredicts++
+	}
+
+	// Perceptron training rule: on a mispredict or low confidence, move
+	// every weight toward the outcome.
+	if !correct || abs(sum) < bpTrainThresh {
+		for t := 0; t < bpTables; t++ {
+			w := p.weights[t][idx[t]]
+			if taken {
+				if w < bpWeightMax {
+					p.weights[t][idx[t]] = w + 1
+				}
+			} else if w > bpWeightMin {
+				p.weights[t][idx[t]] = w - 1
+			}
+		}
+	}
+
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+	return correct
+}
+
+// MispredictRate returns mispredicts per lookup.
+func (p *BranchPredictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,277 @@
+// Package cpu models the out-of-order core of Table IV: a 6-wide, 352-entry
+// ROB machine with a decoupled front-end, driven by an instruction trace.
+//
+// The model is deliberately first-order, in the ChampSim tradition: each
+// cycle the core retires up to Width completed instructions in order from
+// the ROB head and dispatches up to Width new ones. Loads complete at the
+// cycle the memory hierarchy returns; everything else completes after a
+// fixed execute latency. The front-end stalls dispatch while an instruction
+// cache fetch is outstanding. This captures the effects the paper's
+// mechanisms act through — ROB pressure under load misses, MLP bounded by
+// MSHRs, IPC sensitivity to miss latency — without modelling renaming or
+// issue ports.
+//
+// The core is resumable in bounded cycle quanta (StepCycles) so the
+// multi-core simulator can interleave cores over shared levels.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Ports connects the core to the memory system. Each function performs the
+// access at the given cycle and returns the data-ready cycle.
+type Ports struct {
+	// Fetch is the instruction-fetch path (iTLB + L1I), called once per
+	// new instruction cache line.
+	Fetch func(pc uint64, cycle uint64) uint64
+	// Load is the data-load path (dTLB + L1D + prefetcher).
+	Load func(pc, va uint64, cycle uint64) uint64
+	// Store is the data-store path. Stores retire without waiting (the
+	// store buffer absorbs latency) but the access still updates cache
+	// state.
+	Store func(pc, va uint64, cycle uint64) uint64
+	// Epoch, if non-nil, fires every EpochInstrs retired instructions.
+	Epoch func(cycle, retired uint64)
+}
+
+// Config sizes the core.
+type Config struct {
+	Width       int
+	ROBSize     int
+	ExecLatency uint64
+	// MispredictPenalty is the front-end bubble charged per branch
+	// misprediction (redirect + refill).
+	MispredictPenalty uint64
+	// EpochInstrs is the retired-instruction period of the Epoch callback.
+	EpochInstrs uint64
+	// ReplayOnEnd restarts the trace when it runs out (multi-core replay,
+	// §IV-A2); when false the core simply stops at trace end.
+	ReplayOnEnd bool
+}
+
+// DefaultConfig matches Table IV.
+func DefaultConfig() Config {
+	return Config{
+		Width: 6, ROBSize: 352, ExecLatency: 1,
+		MispredictPenalty: 12, EpochInstrs: 20000,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: width %d and ROB %d must be positive", c.Width, c.ROBSize)
+	}
+	return nil
+}
+
+// Core is one simulated core.
+type Core struct {
+	cfg   Config
+	ports Ports
+
+	rob   []uint64 // completion cycles, ring buffer
+	head  int
+	count int
+
+	reader     trace.Reader
+	budget     uint64
+	fetchAvail uint64
+	fetchLine  uint64
+	hasFetch   bool
+	pendingIn  trace.Instr
+	hasPending bool
+	traceEnded bool
+
+	cycle     uint64
+	nextEpoch uint64
+
+	// BP is the hashed perceptron branch predictor (Table IV).
+	BP *BranchPredictor
+
+	// Stats accumulates core activity; the simulator may zero it after
+	// warmup.
+	Stats *stats.CoreStats
+}
+
+// New builds a core.
+func New(cfg Config, ports Ports) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ports.Fetch == nil || ports.Load == nil || ports.Store == nil {
+		return nil, fmt.Errorf("cpu: all memory ports must be connected")
+	}
+	return &Core{
+		cfg:   cfg,
+		ports: ports,
+		rob:   make([]uint64, cfg.ROBSize),
+		BP:    NewBranchPredictor(),
+		Stats: &stats.CoreStats{},
+	}, nil
+}
+
+// Attach points the core at a trace with an instruction budget (retired
+// instructions). Attach may be called again to continue with a new budget.
+func (c *Core) Attach(r trace.Reader, budget uint64) {
+	c.reader = r
+	c.budget = budget
+	c.traceEnded = false
+	if c.cfg.EpochInstrs > 0 {
+		c.nextEpoch = c.Stats.Instructions + c.cfg.EpochInstrs
+	}
+}
+
+// Cycle returns the core's current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether the instruction budget has been retired (or the
+// trace ended without replay and the ROB has drained).
+func (c *Core) Done() bool {
+	return c.budget == 0 || (c.traceEnded && c.count == 0)
+}
+
+// next returns the next instruction, honouring replay semantics.
+func (c *Core) next() (trace.Instr, bool) {
+	if c.hasPending {
+		c.hasPending = false
+		return c.pendingIn, true
+	}
+	in, ok := c.reader.Next()
+	if !ok {
+		if !c.cfg.ReplayOnEnd {
+			c.traceEnded = true
+			return trace.Instr{}, false
+		}
+		c.reader.Reset()
+		in, ok = c.reader.Next()
+		if !ok {
+			c.traceEnded = true
+			return trace.Instr{}, false
+		}
+	}
+	return in, true
+}
+
+// unread pushes an instruction back (fetch stall before dispatch).
+func (c *Core) unread(in trace.Instr) {
+	c.pendingIn = in
+	c.hasPending = true
+}
+
+// StepCycles advances the core by at most n cycles, returning true when the
+// budget is exhausted (Done).
+func (c *Core) StepCycles(n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if c.Done() {
+			return true
+		}
+		c.step()
+	}
+	return c.Done()
+}
+
+// Run drives the core until its budget is retired.
+func (c *Core) Run() {
+	for !c.Done() {
+		c.step()
+	}
+}
+
+// step executes one cycle: retire, then dispatch.
+func (c *Core) step() {
+	cyc := c.cycle
+
+	// Retire up to Width in order.
+	retired := 0
+	for retired < c.cfg.Width && c.count > 0 && c.budget > 0 {
+		if c.rob[c.head] > cyc {
+			break
+		}
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.count--
+		retired++
+		c.budget--
+		c.Stats.Instructions++
+		if c.cfg.EpochInstrs > 0 && c.Stats.Instructions >= c.nextEpoch {
+			c.nextEpoch += c.cfg.EpochInstrs
+			if c.ports.Epoch != nil {
+				c.ports.Epoch(cyc, c.Stats.Instructions)
+			}
+		}
+	}
+	if retired == 0 && c.count > 0 {
+		c.Stats.ROBStallCycles++
+	}
+
+	// Dispatch up to Width while the front-end has instructions.
+	for d := 0; d < c.cfg.Width && c.count < c.cfg.ROBSize; d++ {
+		if c.fetchAvail > cyc {
+			break // instruction fetch outstanding
+		}
+		in, ok := c.next()
+		if !ok {
+			break
+		}
+		line := in.PC >> mem.LineBits
+		if !c.hasFetch || line != c.fetchLine {
+			c.hasFetch = true
+			c.fetchLine = line
+			c.fetchAvail = c.ports.Fetch(in.PC, cyc)
+			if c.fetchAvail > cyc {
+				c.unread(in) // dispatch resumes when the fetch lands
+				break
+			}
+		}
+		var done uint64
+		switch in.Kind {
+		case trace.Load:
+			done = c.ports.Load(in.PC, in.Addr, cyc)
+			c.Stats.Loads++
+		case trace.Store:
+			c.ports.Store(in.PC, in.Addr, cyc)
+			done = cyc + c.cfg.ExecLatency
+			c.Stats.Stores++
+		case trace.Branch:
+			done = cyc + c.cfg.ExecLatency
+			c.Stats.Branches++
+			if !c.BP.PredictAndTrain(in.PC, in.Taken) {
+				c.Stats.Mispredicts++
+				// Redirect: the front end refetches after the penalty.
+				redirect := cyc + c.cfg.MispredictPenalty
+				if redirect > c.fetchAvail {
+					c.fetchAvail = redirect
+				}
+				c.hasFetch = false
+			}
+		default:
+			done = cyc + c.cfg.ExecLatency
+		}
+		tail := (c.head + c.count) % c.cfg.ROBSize
+		c.rob[tail] = done
+		c.count++
+	}
+
+	c.Stats.ROBOccupancy += uint64(c.count)
+	c.Stats.Cycles++
+	c.cycle++
+}
+
+// ROBOccupancyFrac returns the mean ROB occupancy as a fraction of the ROB
+// size (the adaptive thresholding scheme's ROB-pressure input).
+func (c *Core) ROBOccupancyFrac() float64 {
+	if c.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Stats.ROBOccupancy) / float64(c.Stats.Cycles) / float64(c.cfg.ROBSize)
+}
+
+// InstantROBOccupancyFrac returns the current-cycle ROB occupancy fraction.
+func (c *Core) InstantROBOccupancyFrac() float64 {
+	return float64(c.count) / float64(c.cfg.ROBSize)
+}

@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II-C and §V). Each experiment is a function that runs the
+// required (workload × scenario) matrix on the simulator and returns a
+// result struct that both prints the paper's rows/series and exposes the
+// numbers for tests to assert the paper's qualitative shape.
+//
+// All experiments accept Options so the same code scales from unit-test
+// budgets (a handful of workloads, tens of thousands of instructions) to
+// full runs (the complete 218/178-workload sets).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options scales an experiment.
+type Options struct {
+	// Warmup and Instrs are the per-workload instruction budgets.
+	Warmup, Instrs uint64
+	// MaxWorkloads caps the workload set (evenly sampled to keep suite
+	// diversity); 0 means the full set.
+	MaxWorkloads int
+	// Parallel is the number of concurrent simulations (default NumCPU).
+	Parallel int
+	// Prefetcher is the L1D prefetcher under study (default "berti").
+	Prefetcher string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 100_000
+	}
+	if o.Instrs == 0 {
+		o.Instrs = 100_000
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+	}
+	if o.Prefetcher == "" {
+		o.Prefetcher = "berti"
+	}
+	return o
+}
+
+// baseConfig builds the simulator configuration for the options.
+func baseConfig(o Options) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = o.Warmup
+	cfg.SimInstrs = o.Instrs
+	cfg.L1DPrefetcher = o.Prefetcher
+	return cfg
+}
+
+// Sample returns up to n workloads evenly spaced across ws (preserving the
+// suite ordering, hence diversity); n <= 0 returns ws unchanged.
+func Sample(ws []trace.Workload, n int) []trace.Workload {
+	if n <= 0 || n >= len(ws) {
+		return ws
+	}
+	out := make([]trace.Workload, 0, n)
+	step := float64(len(ws)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, ws[int(float64(i)*step)])
+	}
+	return out
+}
+
+// Scenario is one column of an evaluation matrix: a named mutation of the
+// base configuration.
+type Scenario struct {
+	Name      string
+	Configure func(cfg *sim.Config)
+}
+
+// The standard §V-A scenarios.
+func scenarioPermit() Scenario {
+	return Scenario{"Permit PGC", func(c *sim.Config) { c.Policy = sim.PolicyPermit }}
+}
+func scenarioDiscard() Scenario {
+	return Scenario{"Discard PGC", func(c *sim.Config) { c.Policy = sim.PolicyDiscard }}
+}
+func scenarioDiscardPTW() Scenario {
+	return Scenario{"Discard PTW", func(c *sim.Config) { c.Policy = sim.PolicyDiscardPTW }}
+}
+func scenarioISO() Scenario {
+	return Scenario{"ISO Storage", func(c *sim.Config) { c.ISOStorage = true }}
+}
+func scenarioPPF() Scenario {
+	return Scenario{"PPF", func(c *sim.Config) { c.Policy = sim.PolicyPPF }}
+}
+func scenarioPPFDthr() Scenario {
+	return Scenario{"PPF+Dthr", func(c *sim.Config) { c.Policy = sim.PolicyPPFDthr }}
+}
+func scenarioDripper() Scenario {
+	return Scenario{"DRIPPER", func(c *sim.Config) { c.Policy = sim.PolicyDripper }}
+}
+
+// Matrix holds runs indexed by scenario name then workload name.
+type Matrix map[string]map[string]*stats.Run
+
+// RunMatrix simulates every workload under every scenario, in parallel.
+func RunMatrix(o Options, wls []trace.Workload, scens []Scenario) (Matrix, error) {
+	o = o.withDefaults()
+	type job struct {
+		scen Scenario
+		wl   trace.Workload
+	}
+	jobs := make(chan job)
+	type res struct {
+		scen, wl string
+		run      *stats.Run
+		err      error
+	}
+	results := make(chan res)
+
+	var wg sync.WaitGroup
+	for i := 0; i < o.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := baseConfig(o)
+				j.scen.Configure(&cfg)
+				run, err := sim.RunWorkload(cfg, j.wl)
+				results <- res{j.scen.Name, j.wl.Name, run, err}
+			}
+		}()
+	}
+	go func() {
+		for _, sc := range scens {
+			for _, wl := range wls {
+				jobs <- job{sc, wl}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	m := Matrix{}
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %s/%s: %w", r.scen, r.wl, r.err)
+			}
+			continue
+		}
+		if m[r.scen] == nil {
+			m[r.scen] = map[string]*stats.Run{}
+		}
+		m[r.scen][r.wl] = r.run
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// Speedups returns the per-workload IPC speedups of scenario over base,
+// ordered like wls, along with the matching weights.
+func (m Matrix) Speedups(scen, base string, wls []trace.Workload) (sp, weights []float64, err error) {
+	s, b := m[scen], m[base]
+	if s == nil || b == nil {
+		return nil, nil, fmt.Errorf("experiments: scenario %q or %q missing", scen, base)
+	}
+	for _, w := range wls {
+		rs, rb := s[w.Name], b[w.Name]
+		if rs == nil || rb == nil {
+			return nil, nil, fmt.Errorf("experiments: run missing for %s", w.Name)
+		}
+		sp = append(sp, stats.Speedup(rs, rb))
+		weights = append(weights, w.Weight)
+	}
+	return sp, weights, nil
+}
+
+// Geomean returns the weighted geomean speedup of scen over base.
+func (m Matrix) Geomean(scen, base string, wls []trace.Workload) (float64, error) {
+	sp, w, err := m.Speedups(scen, base, wls)
+	if err != nil {
+		return 0, err
+	}
+	return stats.WeightedGeomean(sp, w)
+}
+
+// bySuite groups workloads by suite name, sorted.
+func bySuite(wls []trace.Workload) (suites []string, groups map[string][]trace.Workload) {
+	groups = map[string][]trace.Workload{}
+	for _, w := range wls {
+		groups[w.Suite] = append(groups[w.Suite], w)
+	}
+	for s := range groups {
+		suites = append(suites, s)
+	}
+	sort.Strings(suites)
+	return suites, groups
+}
+
+// sortedCopy returns xs ascending without mutating the input.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// pct formats a speedup as a percentage gain.
+func pct(speedup float64) string {
+	return fmt.Sprintf("%+.2f%%", (speedup-1)*100)
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Printer is implemented by every experiment result: it writes the paper's
+// rows/series as text.
+type Printer interface {
+	Print(w io.Writer)
+}
+
+// WriteJSON serialises any experiment result as indented JSON, for
+// downstream plotting. The result structs export all their series, so the
+// default encoding is the full dataset.
+func WriteJSON(w io.Writer, experiment string, result any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	payload := struct {
+		Experiment string `json:"experiment"`
+		Result     any    `json:"result"`
+	}{experiment, result}
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("experiments: encoding %s: %w", experiment, err)
+	}
+	return nil
+}
+
+// Report renders a result as text or JSON depending on asJSON.
+func Report(w io.Writer, experiment string, result Printer, asJSON bool) error {
+	if asJSON {
+		return WriteJSON(w, experiment, result)
+	}
+	result.Print(w)
+	return nil
+}

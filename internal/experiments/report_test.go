@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "table3", r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Experiment string `json:"experiment"`
+		Result     struct {
+			TotalKB float64 `json:"TotalKB"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Experiment != "table3" {
+		t.Fatalf("experiment = %q", decoded.Experiment)
+	}
+	if decoded.Result.TotalKB < 1 || decoded.Result.TotalKB > 2 {
+		t.Fatalf("TotalKB = %g", decoded.Result.TotalKB)
+	}
+}
+
+func TestReportDispatch(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, js bytes.Buffer
+	if err := Report(&text, "table3", r, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Report(&js, "table3", r, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "Table III") {
+		t.Fatal("text report missing header")
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Fatal("json report invalid")
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// ShapeCheck is one qualitative assertion from the paper, evaluated against
+// a fresh run of the corresponding experiment. The shape harness turns the
+// EXPERIMENTS.md reading guide into executable checks.
+type ShapeCheck struct {
+	Name   string
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// ShapeReport is the outcome of a shape run.
+type ShapeReport struct {
+	Checks []ShapeCheck
+}
+
+// Passed counts passing checks.
+func (r *ShapeReport) Passed() (pass, total int) {
+	for _, c := range r.Checks {
+		if c.Pass {
+			pass++
+		}
+	}
+	return pass, len(r.Checks)
+}
+
+// Print writes the report.
+func (r *ShapeReport) Print(w io.Writer) {
+	pass, total := r.Passed()
+	fmt.Fprintf(w, "Shape checks: %d/%d pass\n", pass, total)
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %-22s %s (%s)\n", mark, c.Name, c.Claim, c.Detail)
+	}
+}
+
+// VerifyShapes runs the core qualitative claims of the paper at the given
+// scale and reports which hold. It is the programmatic companion to
+// EXPERIMENTS.md: run it after any simulator change to see which paper
+// shapes survived.
+func VerifyShapes(o Options, wls []trace.Workload) (*ShapeReport, error) {
+	o = o.withDefaults()
+	if wls == nil {
+		wls = Sample(trace.Seen(), o.MaxWorkloads)
+	}
+	rep := &ShapeReport{}
+	add := func(name, claim string, pass bool, detail string) {
+		rep.Checks = append(rep.Checks, ShapeCheck{Name: name, Claim: claim, Pass: pass, Detail: detail})
+	}
+
+	// One matrix covers most checks.
+	m, err := RunMatrix(o, wls, []Scenario{
+		scenarioDiscard(), scenarioPermit(), scenarioDripper(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fig. 2 shape: Permit helps some workloads and hurts others.
+	sp, _, err := m.Speedups("Permit PGC", "Discard PGC", wls)
+	if err != nil {
+		return nil, err
+	}
+	minSp, maxSp := sp[0], sp[0]
+	for _, x := range sp {
+		if x < minSp {
+			minSp = x
+		}
+		if x > maxSp {
+			maxSp = x
+		}
+	}
+	add("fig2-spread", "Permit helps some workloads and hurts others",
+		minSp < 1 && maxSp > 1, fmt.Sprintf("min %s max %s", pct(minSp), pct(maxSp)))
+
+	// Fig. 9/10 shape: DRIPPER >= Permit in geomean.
+	gPermit, err := m.Geomean("Permit PGC", "Discard PGC", wls)
+	if err != nil {
+		return nil, err
+	}
+	gDripper, err := m.Geomean("DRIPPER", "Discard PGC", wls)
+	if err != nil {
+		return nil, err
+	}
+	add("fig9-dripper-vs-permit", "DRIPPER beats Permit PGC in geomean",
+		gDripper >= gPermit, fmt.Sprintf("DRIPPER %s vs Permit %s", pct(gDripper), pct(gPermit)))
+
+	// Fig. 11 shape: DRIPPER keeps coverage while improving accuracy.
+	var covP, covD, accP, accD float64
+	for _, w := range wls {
+		base := m["Discard PGC"][w.Name]
+		p, d := m["Permit PGC"][w.Name], m["DRIPPER"][w.Name]
+		covP += coverageOf(p, base)
+		covD += coverageOf(d, base)
+		accP += p.L1D.PrefetchAccuracy() - base.L1D.PrefetchAccuracy()
+		accD += d.L1D.PrefetchAccuracy() - base.L1D.PrefetchAccuracy()
+	}
+	n := float64(len(wls))
+	add("fig11-accuracy", "DRIPPER's accuracy delta beats Permit's",
+		accD/n >= accP/n-0.005,
+		fmt.Sprintf("DRIPPER %+.2f%% vs Permit %+.2f%%", accD/n*100, accP/n*100))
+	add("fig11-coverage", "DRIPPER keeps most of Permit's coverage",
+		covD/n >= covP/n*0.5,
+		fmt.Sprintf("DRIPPER %+.2f%% vs Permit %+.2f%%", covD/n*100, covP/n*100))
+
+	// Fig. 13 shape: DRIPPER issues far fewer useless page-cross prefetches.
+	var uselessP, uselessD float64
+	for _, w := range wls {
+		_, up := m["Permit PGC"][w.Name].PGCPerKiloInstr()
+		_, ud := m["DRIPPER"][w.Name].PGCPerKiloInstr()
+		uselessP += up
+		uselessD += ud
+	}
+	add("fig13-useless", "DRIPPER cuts useless page-cross prefetches",
+		uselessD <= uselessP,
+		fmt.Sprintf("DRIPPER %.2f vs Permit %.2f useless/kinstr (mean)", uselessD/n, uselessP/n))
+
+	// Fig. 12 shape: DRIPPER reduces dTLB MPKI at least as much as sTLB.
+	var dtlbD, stlbD float64
+	for _, w := range wls {
+		base := m["Discard PGC"][w.Name]
+		d := m["DRIPPER"][w.Name]
+		dtlbD += d.MPKI("dtlb") - base.MPKI("dtlb")
+		stlbD += d.MPKI("stlb") - base.MPKI("stlb")
+	}
+	add("fig12-tlb", "DRIPPER reduces TLB MPKIs (dTLB at least as much as sTLB)",
+		dtlbD/n <= 0.01 && dtlbD <= stlbD+0.01*n,
+		fmt.Sprintf("dTLB %+.3f sTLB %+.3f mean ΔMPKI", dtlbD/n, stlbD/n))
+
+	return rep, nil
+}
+
+func coverageOf(run, base interface {
+	MPKI(string) float64
+}, // structural: *stats.Run satisfies it
+) float64 {
+	b := base.MPKI("l1d")
+	if b == 0 {
+		return 0
+	}
+	return (b - run.MPKI("l1d")) / b
+}

@@ -1,0 +1,91 @@
+package mem
+
+// AccessType classifies a memory-hierarchy request. The distinction matters
+// throughout the hierarchy: demand loads train prefetchers and allocate
+// MSHRs with wakeups, prefetches set the prefetch bit in the filled block,
+// translation requests bypass the data path, and page-walk reads are issued
+// by the hardware walker against the physical page table.
+type AccessType uint8
+
+const (
+	// Load is a demand data load.
+	Load AccessType = iota
+	// Store is a demand data store (modelled write-allocate, write-back).
+	Store
+	// InstrFetch is a demand instruction fetch.
+	InstrFetch
+	// Prefetch is a hardware prefetch for data.
+	Prefetch
+	// Translation is a TLB lookup request.
+	Translation
+	// PTWRead is a page-table-walker read of a page-table entry.
+	PTWRead
+	// Writeback is a dirty-block writeback travelling down the hierarchy.
+	Writeback
+)
+
+// String names the access type.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case InstrFetch:
+		return "ifetch"
+	case Prefetch:
+		return "prefetch"
+	case Translation:
+		return "translation"
+	case PTWRead:
+		return "ptw-read"
+	case Writeback:
+		return "writeback"
+	}
+	return "unknown"
+}
+
+// IsDemand reports whether the access is a demand access (load, store or
+// instruction fetch) as opposed to speculative/maintenance traffic.
+func (t AccessType) IsDemand() bool {
+	return t == Load || t == Store || t == InstrFetch
+}
+
+// Request is a memory-hierarchy request. A request is created at the core
+// (or a prefetcher, or the page-table walker) and handed down the hierarchy.
+// Completion is signalled by invoking OnDone with the cycle at which data is
+// available.
+type Request struct {
+	// VA is the virtual address of the access. Valid for core-side requests
+	// (L1 caches are virtually indexed); zero for walker-generated reads.
+	VA VAddr
+	// PA is the physical address, filled in after translation.
+	PA PAddr
+	// PC is the program counter of the instruction that triggered the
+	// access; prefetch requests carry the PC of the triggering load.
+	PC VAddr
+	// Type is the access type.
+	Type AccessType
+	// IsPageCross marks a prefetch whose target line lies in a different
+	// 4KB page than the triggering access. Set by the prefetch framework,
+	// consumed by the page-cross filter and by the stats machinery.
+	IsPageCross bool
+	// FilterTag carries the page-cross filter's hashed indexes so that the
+	// training buffers (vUB/pUB) can update the exact weights that produced
+	// the decision. Nil for requests the filter never saw.
+	FilterTag any
+	// Delta is the line delta (in cache lines) between the triggering
+	// access and the prefetch target. Zero for demand accesses.
+	Delta int64
+	// OnDone, if non-nil, is invoked exactly once when the request
+	// completes, with the completion cycle.
+	OnDone func(cycle uint64)
+}
+
+// Done invokes the completion callback, if any.
+func (r *Request) Done(cycle uint64) {
+	if r.OnDone != nil {
+		r.OnDone(cycle)
+		r.OnDone = nil
+	}
+}

@@ -1,0 +1,69 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+func newLargeMMU(t *testing.T) (*MMU, *flatMem) {
+	t.Helper()
+	as, err := vmem.New(vmem.Config{
+		MemBytes: 1 << 30, LargePages: true, LargePageFraction: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &flatMem{latency: 50}
+	mm, err := New(DefaultConfig(), as, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mm, m
+}
+
+func TestLargePageWalkIsShorterThroughMMU(t *testing.T) {
+	mm, fm := newLargeMMU(t)
+	r := mm.TranslateData(0x4000_0000_0000, 0)
+	if r.Source != SrcWalk {
+		t.Fatalf("source %v", r.Source)
+	}
+	if r.Translation.Kind != mem.Page2M {
+		t.Fatal("expected a 2MB translation")
+	}
+	// 2MB walks read one level fewer than 4KB walks.
+	if fm.accesses != vmem.LevelPD+1 {
+		t.Fatalf("2M walk made %d reads", fm.accesses)
+	}
+}
+
+func TestLargePageTLBCoverage(t *testing.T) {
+	mm, _ := newLargeMMU(t)
+	base := mem.VAddr(0x4000_0000_0000)
+	mm.TranslateData(base, 0)
+	// Every 4KB page in the same 2MB region must now hit the dTLB.
+	for i := 1; i < 16; i++ {
+		r := mm.TranslateData(base+mem.VAddr(i)*37*mem.PageSize%mem.LargePageSize, 100)
+		if r.Source != SrcL1TLB {
+			t.Fatalf("page %d in a mapped 2MB region missed (source %v)", i, r.Source)
+		}
+	}
+}
+
+func TestPrefetchWalkOn2MPage(t *testing.T) {
+	mm, _ := newLargeMMU(t)
+	va := mem.VAddr(0x5000_0000_0000)
+	r := mm.TranslatePrefetch(va, 0, true)
+	if r.Source != SrcWalk || r.Translation.Kind != mem.Page2M {
+		t.Fatalf("prefetch 2M walk: %+v", r)
+	}
+	// The speculative walk covers the whole 2MB region for later demands.
+	r2 := mm.TranslateData(va+mem.LargePageSize/2, 1000)
+	if r2.Source != SrcL1TLB {
+		t.Fatalf("demand after 2M prefetch walk: source %v", r2.Source)
+	}
+	if mm.DTLB.Stats.UsefulPrefetches != 1 {
+		t.Fatal("2M prefetched translation not credited as useful")
+	}
+}

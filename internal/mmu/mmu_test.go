@@ -1,0 +1,161 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+type flatMem struct {
+	latency  uint64
+	accesses int
+}
+
+func (f *flatMem) Access(req *cache.Request, cycle uint64) uint64 {
+	f.accesses++
+	return cycle + f.latency
+}
+
+func newMMU(t *testing.T) (*MMU, *vmem.AddressSpace, *flatMem) {
+	t.Helper()
+	as, err := vmem.New(vmem.Config{MemBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &flatMem{latency: 50}
+	mm, err := New(DefaultConfig(), as, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mm, as, m
+}
+
+func TestDemandWalkThenTLBHits(t *testing.T) {
+	mm, as, fm := newMMU(t)
+	va := mem.VAddr(0x7000_1111_2000)
+
+	r := mm.TranslateData(va, 0)
+	if r.Source != SrcWalk {
+		t.Fatalf("cold translation source = %v", r.Source)
+	}
+	if r.Translation != as.Translate(va) {
+		t.Fatal("translation mismatch")
+	}
+	if fm.accesses == 0 {
+		t.Fatal("walk issued no memory reads")
+	}
+	if r.Ready < 5*50 {
+		t.Fatalf("cold walk ready too early: %d", r.Ready)
+	}
+
+	// Second access: dTLB hit, 1 cycle.
+	r2 := mm.TranslateData(va, 1000)
+	if r2.Source != SrcL1TLB || r2.Ready != 1001 {
+		t.Fatalf("warm translation: source=%v ready=%d", r2.Source, r2.Ready)
+	}
+}
+
+func TestSTLBHitFillsL1(t *testing.T) {
+	mm, _, _ := newMMU(t)
+	va := mem.VAddr(0x1000)
+	mm.TranslateData(va, 0) // fills both
+	mm.DTLB.Flush()
+	r := mm.TranslateData(va, 100)
+	if r.Source != SrcSTLB {
+		t.Fatalf("source = %v, want stlb", r.Source)
+	}
+	// Now the dTLB is refilled.
+	r = mm.TranslateData(va, 200)
+	if r.Source != SrcL1TLB {
+		t.Fatalf("source after refill = %v", r.Source)
+	}
+}
+
+func TestPrefetchDeniedWithoutWalk(t *testing.T) {
+	mm, _, fm := newMMU(t)
+	before := fm.accesses
+	r := mm.TranslatePrefetch(0x5000_0000, 0, false)
+	if r.Source != SrcDenied {
+		t.Fatalf("source = %v, want denied", r.Source)
+	}
+	if fm.accesses != before {
+		t.Fatal("denied prefetch must not walk")
+	}
+	// Demand stats must be untouched by prefetch translations.
+	if mm.DTLB.Stats.DemandAccesses != 0 || mm.STLB.Stats.DemandAccesses != 0 {
+		t.Fatal("prefetch translation counted as demand")
+	}
+}
+
+func TestPrefetchWalkFillsBothTLBs(t *testing.T) {
+	mm, _, _ := newMMU(t)
+	va := mem.VAddr(0x6000_0000)
+	r := mm.TranslatePrefetch(va, 0, true)
+	if r.Source != SrcWalk {
+		t.Fatalf("source = %v, want walk", r.Source)
+	}
+	if !mm.DTLB.Probe(va) || !mm.STLB.Probe(va) {
+		t.Fatal("prefetch walk must fill both dTLB and sTLB")
+	}
+	if mm.DTLB.Stats.PrefetchFills != 1 || mm.STLB.Stats.PrefetchFills != 1 {
+		t.Fatalf("prefetch fill stats: dtlb=%+v stlb=%+v", mm.DTLB.Stats, mm.STLB.Stats)
+	}
+	// A later demand to the same page is a dTLB hit and credits the
+	// prefetched translation as useful.
+	r2 := mm.TranslateData(va, 1000)
+	if r2.Source != SrcL1TLB {
+		t.Fatalf("demand after prefetch: %v", r2.Source)
+	}
+	if mm.DTLB.Stats.UsefulPrefetches != 1 {
+		t.Fatal("useful prefetched translation not credited")
+	}
+}
+
+func TestResidentProbe(t *testing.T) {
+	mm, _, _ := newMMU(t)
+	va := mem.VAddr(0x1234_5000)
+	if mm.Resident(va) {
+		t.Fatal("resident on empty MMU")
+	}
+	mm.TranslateData(va, 0)
+	if !mm.Resident(va) {
+		t.Fatal("translated page not resident")
+	}
+	mm.DTLB.Flush()
+	if !mm.Resident(va) {
+		t.Fatal("sTLB residency should count")
+	}
+	mm.Flush()
+	if mm.Resident(va) {
+		t.Fatal("resident after flush")
+	}
+}
+
+func TestInstrTranslationUsesITLB(t *testing.T) {
+	mm, _, _ := newMMU(t)
+	va := mem.VAddr(0x400000)
+	mm.TranslateInstr(va, 0)
+	if mm.ITLB.Stats.DemandMisses != 1 {
+		t.Fatalf("iTLB stats: %+v", mm.ITLB.Stats)
+	}
+	if mm.DTLB.Stats.DemandAccesses != 0 {
+		t.Fatal("instruction fetch touched dTLB")
+	}
+	r := mm.TranslateInstr(va, 100)
+	if r.Source != SrcL1TLB {
+		t.Fatalf("warm ifetch source = %v", r.Source)
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	for s := SrcL1TLB; s <= SrcDenied; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("source %d unnamed", s)
+		}
+	}
+	if mm, _, _ := newMMU(t); mm.Describe() == "" {
+		t.Error("empty description")
+	}
+}

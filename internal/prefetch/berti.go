@@ -1,0 +1,194 @@
+package prefetch
+
+// Berti is a reimplementation of the local-delta prefetcher of
+// Navarro-Torres et al. (MICRO 2022), the paper's state-of-the-art L1D
+// prefetcher. Berti learns, per load PC, the set of "timely deltas": line
+// deltas d such that prefetching X+d when the program touches X would have
+// completed before the program actually touched X+d. Deltas whose coverage
+// exceeds a confidence threshold are issued; high-confidence deltas may be
+// issued several pages ahead, which is what makes Berti's page-cross
+// behaviour interesting to the filter.
+//
+// The implementation keeps the structure of the original proposal — a
+// per-IP access history used to extract timely deltas and a per-IP delta
+// table with coverage counters — with the miss-latency estimate supplied by
+// the cache's fill feedback instead of a dedicated latency table.
+
+const (
+	bertiHistoryLen   = 8   // per-IP history entries
+	bertiDeltasPerIP  = 16  // per-IP delta candidates
+	bertiTableSize    = 256 // tracked IPs (direct-mapped by PC hash)
+	bertiMaxDelta     = 256 // |delta| bound in lines (4 pages)
+	bertiConfBits     = 6   // coverage counter width
+	bertiConfMax      = 1<<bertiConfBits - 1
+	bertiIssueConf    = 4 // minimum coverage to issue
+	bertiMaxDegree    = 4 // candidates per access
+	bertiDecayPeriod  = 4096
+	bertiDefaultMissL = 60 // initial miss-latency estimate (cycles)
+)
+
+type bertiHistEntry struct {
+	line  int64
+	cycle uint64
+	valid bool
+}
+
+type bertiDelta struct {
+	delta int64
+	conf  int
+	valid bool
+}
+
+type bertiIPEntry struct {
+	tag     uint64
+	hist    [bertiHistoryLen]bertiHistEntry
+	histPos int
+	deltas  [bertiDeltasPerIP]bertiDelta
+}
+
+// Berti is the local-delta prefetcher.
+type Berti struct {
+	table    []bertiIPEntry
+	missLat  uint64 // EWMA of observed demand fill latency
+	accesses uint64
+	degree   int
+}
+
+// NewBerti builds a Berti engine with the default table size and degree.
+func NewBerti() *Berti { return NewBertiSized(bertiTableSize) }
+
+// NewBertiSized builds a Berti engine with the given IP-table entry count;
+// the ISO-Storage comparison (§V-A) spends the filter's budget here.
+func NewBertiSized(entries int) *Berti {
+	if entries <= 0 {
+		entries = bertiTableSize
+	}
+	return &Berti{
+		table:   make([]bertiIPEntry, entries),
+		missLat: bertiDefaultMissL,
+		degree:  bertiMaxDegree,
+	}
+}
+
+// Name implements Prefetcher.
+func (b *Berti) Name() string { return "berti" }
+
+// FillLatency implements Prefetcher: an exponentially weighted moving
+// average of demand fill latency drives the timeliness test.
+func (b *Berti) FillLatency(lat uint64) {
+	b.missLat = (b.missLat*7 + lat) / 8
+}
+
+func (b *Berti) entryFor(pc uint64) *bertiIPEntry {
+	h := pc * 0x9E3779B97F4A7C15
+	idx := (h >> 16) % uint64(len(b.table))
+	e := &b.table[idx]
+	if e.tag != pc {
+		// Direct-mapped: a new PC takes over the slot.
+		*e = bertiIPEntry{tag: pc}
+	}
+	return e
+}
+
+// Train implements Prefetcher.
+func (b *Berti) Train(a Access) []Candidate {
+	b.accesses++
+	e := b.entryFor(a.PC)
+	line := lineOf(a.Addr)
+
+	// Timeliness training: any history entry old enough that a prefetch
+	// launched then would have completed by now contributes its delta.
+	for i := range e.hist {
+		h := &e.hist[i]
+		if !h.valid || h.line == line {
+			continue
+		}
+		if a.Cycle-h.cycle < b.missLat {
+			continue // too recent: prefetching then would have been late
+		}
+		d := line - h.line
+		if d == 0 || d > bertiMaxDelta || d < -bertiMaxDelta {
+			continue
+		}
+		b.bumpDelta(e, d)
+	}
+
+	// Record the access.
+	e.hist[e.histPos] = bertiHistEntry{line: line, cycle: a.Cycle, valid: true}
+	e.histPos = (e.histPos + 1) % bertiHistoryLen
+
+	// Periodic decay keeps confidence adaptive across phases.
+	if b.accesses%bertiDecayPeriod == 0 {
+		for t := range b.table {
+			for j := range b.table[t].deltas {
+				b.table[t].deltas[j].conf /= 2
+			}
+		}
+	}
+
+	// Issue: best deltas above the confidence threshold.
+	var out []Candidate
+	for round := 0; round < b.degree; round++ {
+		best := -1
+		bestConf := bertiIssueConf - 1
+		for j := range e.deltas {
+			d := &e.deltas[j]
+			if !d.valid || d.conf <= bestConf {
+				continue
+			}
+			if containsDelta(out, d.delta) {
+				continue
+			}
+			best, bestConf = j, d.conf
+		}
+		if best == -1 {
+			break
+		}
+		if t, ok := targetOf(line + e.deltas[best].delta); ok {
+			out = append(out, Candidate{
+				Target: t,
+				Delta:  e.deltas[best].delta,
+				Meta:   uint64(e.deltas[best].conf),
+			})
+		} else {
+			break
+		}
+	}
+	return out
+}
+
+func containsDelta(cs []Candidate, d int64) bool {
+	for _, c := range cs {
+		if c.Delta == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Berti) bumpDelta(e *bertiIPEntry, d int64) {
+	var victim *bertiDelta
+	minConf := int(^uint(0) >> 1)
+	for j := range e.deltas {
+		s := &e.deltas[j]
+		if s.valid && s.delta == d {
+			if s.conf < bertiConfMax {
+				s.conf++
+			}
+			return
+		}
+		if !s.valid {
+			victim = s
+			minConf = -1
+			continue
+		}
+		if s.conf < minConf {
+			victim = s
+			minConf = s.conf
+		}
+	}
+	// Replace the weakest candidate only if it has low confidence.
+	if victim != nil && minConf < bertiIssueConf {
+		*victim = bertiDelta{delta: d, conf: 1, valid: true}
+	}
+}

@@ -1,0 +1,142 @@
+package prefetch
+
+// BOP reimplements the Best-Offset Prefetcher of Michaud (HPCA 2016). BOP
+// learns a single best line offset O and prefetches X+O for every trigger
+// X. Learning proceeds in rounds: a Recent Requests (RR) table remembers
+// recently demanded lines; on every trigger X the round's current candidate
+// offset o is tested — if X−o is in the RR table, a prefetch of (X−o)+o
+// issued back then would have been timely, so o scores a point. At the end
+// of a round the highest-scoring offset becomes the active offset; a round
+// that ends with a weak best score turns prefetching off.
+//
+// Offsets span up to several pages in both directions, so a streaming
+// workload drives BOP across page boundaries every few tens of accesses.
+
+// bopOffsets is the candidate list: the classic factored positives and
+// their negatives, bounded to ±4 pages of lines.
+var bopOffsets = buildBOPOffsets()
+
+func buildBOPOffsets() []int64 {
+	pos := []int64{1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25,
+		27, 30, 32, 36, 40, 45, 48, 50, 54, 60, 64, 72, 80, 96, 100, 120,
+		128, 144, 160, 192, 200, 216, 240, 256}
+	out := make([]int64, 0, 2*len(pos))
+	for _, o := range pos {
+		out = append(out, o, -o)
+	}
+	return out
+}
+
+const (
+	bopRRSize      = 256 // recent-requests table entries
+	bopScoreMax    = 31  // ends the round immediately
+	bopRoundMax    = 512 // triggers per learning round
+	bopBadScore    = 4   // best score below this turns prefetching off
+	bopDefaultBest = 1
+)
+
+// BOP is the best-offset prefetcher.
+type BOP struct {
+	NopLatency
+	rr []int64 // line addresses (direct-mapped hash)
+
+	scores    []int
+	testIdx   int
+	roundLen  int
+	best      int64
+	active    bool
+	bestScore int
+}
+
+// NewBOP builds a BOP engine with the default RR-table size.
+func NewBOP() *BOP { return NewBOPSized(bopRRSize) }
+
+// NewBOPSized builds a BOP engine with the given recent-requests table size
+// (the ISO-Storage comparison spends the filter's budget here).
+func NewBOPSized(rrEntries int) *BOP {
+	if rrEntries <= 0 {
+		rrEntries = bopRRSize
+	}
+	return &BOP{
+		rr:     make([]int64, rrEntries),
+		scores: make([]int, len(bopOffsets)),
+		best:   bopDefaultBest,
+		active: true,
+	}
+}
+
+// Name implements Prefetcher.
+func (b *BOP) Name() string { return "bop" }
+
+func (b *BOP) rrIndex(line int64) int {
+	h := uint64(line) * 0x9E3779B97F4A7C15
+	return int(h>>32) % len(b.rr)
+}
+
+func (b *BOP) rrContains(line int64) bool {
+	return b.rr[b.rrIndex(line)] == line
+}
+
+func (b *BOP) rrInsert(line int64) {
+	b.rr[b.rrIndex(line)] = line
+}
+
+// Train implements Prefetcher. Like the original, BOP trains on L1 misses
+// and prefetch-hits; training on every access would bias scores toward
+// tiny offsets.
+func (b *BOP) Train(a Access) []Candidate {
+	line := lineOf(a.Addr)
+
+	if !a.Hit {
+		// Learning step: test the round's next offset against RR.
+		o := bopOffsets[b.testIdx]
+		if b.rrContains(line - o) {
+			b.scores[b.testIdx]++
+		}
+		b.testIdx = (b.testIdx + 1) % len(bopOffsets)
+		b.roundLen++
+
+		if b.scores[maxIdx(b.scores)] >= bopScoreMax || b.roundLen >= bopRoundMax {
+			b.endRound()
+		}
+		b.rrInsert(line)
+	}
+
+	if !b.active {
+		return nil
+	}
+	if t, ok := targetOf(line + b.best); ok {
+		return []Candidate{{Target: t, Delta: b.best, Meta: uint64(b.bestScore)}}
+	}
+	return nil
+}
+
+func (b *BOP) endRound() {
+	i := maxIdx(b.scores)
+	b.bestScore = b.scores[i]
+	if b.bestScore >= bopBadScore {
+		b.best = bopOffsets[i]
+		b.active = true
+	} else {
+		b.active = false
+		b.best = bopDefaultBest
+	}
+	for j := range b.scores {
+		b.scores[j] = 0
+	}
+	b.roundLen = 0
+	b.testIdx = 0
+}
+
+func maxIdx(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestOffset exposes the active offset for tests and introspection.
+func (b *BOP) BestOffset() (offset int64, active bool) { return b.best, b.active }

@@ -1,0 +1,120 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestStrideLearnsAndIssues(t *testing.T) {
+	s := NewStride()
+	var got []Candidate
+	for _, a := range streamAccesses(0x400500, 0x30000, 10, 5, 10) {
+		got = s.Train(a)
+	}
+	if len(got) != strideDegree {
+		t.Fatalf("candidates = %d, want %d", len(got), strideDegree)
+	}
+	if got[0].Delta != 5 || got[1].Delta != 10 {
+		t.Fatalf("deltas = %d,%d", got[0].Delta, got[1].Delta)
+	}
+}
+
+func TestStrideNeedsConfidence(t *testing.T) {
+	s := NewStride()
+	// Alternating strides never build confidence.
+	addrs := []uint64{0x1000, 0x1040, 0x1200, 0x1240, 0x1500, 0x1540, 0x1900}
+	var got []Candidate
+	for i, addr := range addrs {
+		got = s.Train(Access{Addr: addr, PC: 0x400600, Cycle: uint64(i)})
+	}
+	if len(got) != 0 {
+		t.Fatalf("issued %d candidates on irregular strides", len(got))
+	}
+}
+
+func TestStridePerPCIsolation(t *testing.T) {
+	s := NewStride()
+	// Two PCs with different strides interleaved must both learn.
+	for i := 0; i < 10; i++ {
+		s.Train(Access{Addr: 0x10000 + uint64(i)*2*mem.LineSize, PC: 0xA})
+		s.Train(Access{Addr: 0x80000 + uint64(i)*7*mem.LineSize, PC: 0xB})
+	}
+	gotA := s.Train(Access{Addr: 0x10000 + 10*2*mem.LineSize, PC: 0xA})
+	gotB := s.Train(Access{Addr: 0x80000 + 10*7*mem.LineSize, PC: 0xB})
+	if len(gotA) == 0 || gotA[0].Delta != 2 {
+		t.Fatalf("PC A: %+v", gotA)
+	}
+	if len(gotB) == 0 || gotB[0].Delta != 7 {
+		t.Fatalf("PC B: %+v", gotB)
+	}
+}
+
+func TestSMSLearnsFootprint(t *testing.T) {
+	s := NewSMS()
+	// Generation 1: touch offsets {0, 3, 7} of a region, triggered by PC
+	// 0x400700 at offset 0. Then touch other regions to evict it, then
+	// re-trigger the same (PC, offset) in a new region.
+	base := int64(0x100000 / mem.LineSize)
+	base -= base % smsRegionLines
+	touch := func(line int64, pc uint64) []Candidate {
+		return s.Train(Access{Addr: uint64(line) * mem.LineSize, PC: pc})
+	}
+	touch(base+0, 0x400700)
+	touch(base+3, 0x400800)
+	touch(base+7, 0x400900)
+	// Evict generation by touching many other regions.
+	for i := 1; i <= smsAGTSize; i++ {
+		touch(base+int64(i*smsRegionLines), 0x400000+uint64(i))
+	}
+	// New region, same trigger (PC 0x400700, offset 0): footprint replays.
+	newBase := base + int64((smsAGTSize+5)*smsRegionLines)
+	got := touch(newBase+0, 0x400700)
+	if len(got) != 2 {
+		t.Fatalf("footprint candidates = %d, want 2 (offsets 3 and 7)", len(got))
+	}
+	want := map[int64]bool{3: true, 7: true}
+	for _, c := range got {
+		if !want[c.Delta] {
+			t.Fatalf("unexpected delta %d", c.Delta)
+		}
+	}
+}
+
+func TestSMSNoPredictionWithoutHistory(t *testing.T) {
+	s := NewSMS()
+	got := s.Train(Access{Addr: 0x555000, PC: 0x400100})
+	if len(got) != 0 {
+		t.Fatalf("cold SMS issued %d candidates", len(got))
+	}
+}
+
+func TestSMSCanCrossPages(t *testing.T) {
+	s := NewSMS()
+	// A region straddling a page boundary: regions are 2KB, so region
+	// starting at page_end-1KB spans into the next page... regions are
+	// aligned, so instead use a footprint near the region top where the
+	// region itself sits at the end of a page? Regions are 2KB-aligned so
+	// they never straddle 4KB pages. Verify instead that footprints stay
+	// within the region (no false page-cross from the engine's own math).
+	base := int64(0x200000 / mem.LineSize)
+	s.Train(Access{Addr: uint64(base) * mem.LineSize, PC: 0xCAFE})
+	for i := 1; i <= smsAGTSize; i++ {
+		s.Train(Access{Addr: uint64(base+int64(i*smsRegionLines)) * mem.LineSize, PC: uint64(i)})
+	}
+	got := s.Train(Access{Addr: uint64(base+int64((smsAGTSize+9)*smsRegionLines)) * mem.LineSize, PC: 0xCAFE})
+	for _, c := range got {
+		if c.Delta >= smsRegionLines || c.Delta <= -smsRegionLines {
+			t.Fatalf("footprint delta %d escapes the region", c.Delta)
+		}
+	}
+}
+
+func TestNewEngineNames(t *testing.T) {
+	for _, e := range []Prefetcher{NewStride(), NewSMS()} {
+		if e.Name() == "" {
+			t.Fatal("unnamed engine")
+		}
+		e.FillLatency(1)
+	}
+}

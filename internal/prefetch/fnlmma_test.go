@@ -1,0 +1,72 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestFNLPrefetchesSequentialCode(t *testing.T) {
+	p := NewFNLMMA()
+	base := uint64(0x400000)
+	var got []Candidate
+	for i := 0; i < 32; i++ {
+		got = p.Train(Access{Addr: base + uint64(i)*mem.LineSize})
+	}
+	found := false
+	for _, c := range got {
+		if c.Delta == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("FNL did not prefetch the next line on a sequential code stream")
+	}
+}
+
+func TestFNLSuppressedOnNonSequential(t *testing.T) {
+	p := NewFNLMMA()
+	// Alternate between two distant lines: the sequential successor is
+	// never used, so FNL confidence for these lines must go negative.
+	a, b := uint64(0x400000), uint64(0x480000)
+	for i := 0; i < 64; i++ {
+		p.Train(Access{Addr: a})
+		p.Train(Access{Addr: b})
+	}
+	got := p.Train(Access{Addr: a})
+	for _, c := range got {
+		if c.Delta == 1 {
+			t.Fatal("FNL kept prefetching a never-used next line")
+		}
+	}
+}
+
+func TestMMALearnsMissChain(t *testing.T) {
+	p := NewFNLMMA()
+	// A call pattern: line A is always followed by the distant line B.
+	a, b := uint64(0x400000), uint64(0x460000)
+	for i := 0; i < 8; i++ {
+		p.Train(Access{Addr: a})
+		p.Train(Access{Addr: b})
+		p.Train(Access{Addr: a + 4*mem.LineSize}) // unrelated filler
+	}
+	got := p.Train(Access{Addr: a})
+	wantDelta := int64(b>>mem.LineBits) - int64(a>>mem.LineBits)
+	found := false
+	for _, c := range got {
+		if c.Delta == wantDelta {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("MMA did not predict the learned successor (candidates %+v)", got)
+	}
+}
+
+func TestFNLMMAName(t *testing.T) {
+	p := NewFNLMMA()
+	if p.Name() != "fnl+mma" {
+		t.Fatalf("name %q", p.Name())
+	}
+	p.FillLatency(10)
+}

@@ -1,0 +1,215 @@
+package prefetch
+
+// IPCP reimplements the Instruction Pointer Classifier-based spatial
+// prefetcher of Pakalapati & Panda (ISCA 2020). Each load PC is classified
+// into one of three classes, checked in priority order:
+//
+//   - CS (constant stride): the PC strides by a fixed line delta;
+//   - CPLX (complex stride): the PC's stride sequence is irregular but
+//     predictable from a signature of recent strides;
+//   - GS (global stream): the program is streaming densely through memory
+//     regions, so prefetch a deep burst of next lines.
+//
+// A next-line prefetch backs up unclassified PCs. Stride prefetches with
+// multi-line strides and deep GS bursts readily cross page boundaries,
+// which is why IPCP is one of the paper's three subject prefetchers.
+
+const (
+	ipcpTableSize  = 512 // IP table entries (direct-mapped)
+	ipcpConfMax    = 3
+	ipcpCSDegree   = 3 // stride multiples issued for CS
+	ipcpGSDegree   = 6 // burst depth for GS
+	ipcpCPLXDegree = 2
+
+	ipcpRegionLines = 32 // region size for stream detection (2KB)
+	ipcpRegionTable = 64 // tracked regions
+	ipcpStreamDense = 24 // touches within a region to call it a stream
+	ipcpCPLXSize    = 1024
+)
+
+type ipcpIPEntry struct {
+	tag      uint64
+	lastLine int64
+	stride   int64
+	conf     int
+	sig      uint16 // CPLX signature of recent strides
+	valid    bool
+}
+
+type ipcpRegion struct {
+	id      int64
+	touched uint64 // bitmap of touched lines within the region
+	count   int
+	dir     int // +1 ascending, -1 descending
+	last    int64
+	valid   bool
+}
+
+type cplxEntry struct {
+	stride int64
+	conf   int
+}
+
+// IPCP is the IP-classifier prefetcher.
+type IPCP struct {
+	NopLatency
+	table   []ipcpIPEntry
+	regions [ipcpRegionTable]ipcpRegion
+	cplx    [ipcpCPLXSize]cplxEntry
+}
+
+// NewIPCP builds an IPCP engine with the default IP-table size.
+func NewIPCP() *IPCP { return NewIPCPSized(ipcpTableSize) }
+
+// NewIPCPSized builds an IPCP engine with the given IP-table entry count
+// (the ISO-Storage comparison spends the filter's budget here).
+func NewIPCPSized(entries int) *IPCP {
+	if entries <= 0 {
+		entries = ipcpTableSize
+	}
+	return &IPCP{table: make([]ipcpIPEntry, entries)}
+}
+
+// Name implements Prefetcher.
+func (p *IPCP) Name() string { return "ipcp" }
+
+func (p *IPCP) entryFor(pc uint64) *ipcpIPEntry {
+	h := pc * 0x9E3779B97F4A7C15
+	e := &p.table[(h>>20)%uint64(len(p.table))]
+	if !e.valid || e.tag != pc {
+		*e = ipcpIPEntry{tag: pc, valid: true}
+	}
+	return e
+}
+
+// regionFor finds or allocates the stream-detection region of a line.
+func (p *IPCP) regionFor(line int64) *ipcpRegion {
+	id := line / ipcpRegionLines
+	var victim *ipcpRegion
+	minCount := int(^uint(0) >> 1)
+	for i := range p.regions {
+		r := &p.regions[i]
+		if r.valid && r.id == id {
+			return r
+		}
+		if !r.valid {
+			victim = r
+			minCount = -1
+			continue
+		}
+		if r.count < minCount {
+			victim = r
+			minCount = r.count
+		}
+	}
+	*victim = ipcpRegion{id: id, valid: true, dir: 1}
+	return victim
+}
+
+// Train implements Prefetcher.
+func (p *IPCP) Train(a Access) []Candidate {
+	line := lineOf(a.Addr)
+	e := p.entryFor(a.PC)
+
+	// Region tracking for GS classification.
+	r := p.regionFor(line)
+	bit := uint64(1) << uint(line-r.id*ipcpRegionLines)
+	if r.touched&bit == 0 {
+		r.touched |= bit
+		r.count++
+	}
+	if line < r.last {
+		r.dir = -1
+	} else if line > r.last {
+		r.dir = 1
+	}
+	r.last = line
+	stream := r.count >= ipcpStreamDense
+
+	var out []Candidate
+	defer func() {
+		// Update per-IP stride state after deciding candidates.
+		if e.lastLine != 0 {
+			s := line - e.lastLine
+			if s != 0 {
+				if s == e.stride {
+					if e.conf < ipcpConfMax {
+						e.conf++
+					}
+				} else {
+					if e.conf > 0 {
+						e.conf--
+					}
+					if e.conf == 0 {
+						e.stride = s
+					}
+				}
+				// CPLX: reward the signature→stride mapping, then advance
+				// the signature.
+				ce := &p.cplx[e.sig%ipcpCPLXSize]
+				if ce.stride == s {
+					if ce.conf < ipcpConfMax {
+						ce.conf++
+					}
+				} else {
+					if ce.conf > 0 {
+						ce.conf--
+					} else {
+						ce.stride = s
+					}
+				}
+				e.sig = (e.sig<<3 ^ uint16(uint64(s)&0x3f)) & (ipcpCPLXSize - 1)
+			}
+		}
+		e.lastLine = line
+	}()
+
+	// CS class: confident constant stride.
+	if e.conf >= 2 && e.stride != 0 {
+		for k := 1; k <= ipcpCSDegree; k++ {
+			if t, ok := targetOf(line + e.stride*int64(k)); ok {
+				out = append(out, Candidate{Target: t, Delta: e.stride * int64(k), Meta: 1})
+			}
+		}
+		return out
+	}
+
+	// CPLX class: signature-predicted stride chain.
+	if ce := p.cplx[e.sig%ipcpCPLXSize]; ce.conf >= 2 && ce.stride != 0 {
+		next := line
+		sig := e.sig
+		for k := 0; k < ipcpCPLXDegree; k++ {
+			c := p.cplx[sig%ipcpCPLXSize]
+			if c.conf < 2 || c.stride == 0 {
+				break
+			}
+			next += c.stride
+			if t, ok := targetOf(next); ok {
+				out = append(out, Candidate{Target: t, Delta: next - line, Meta: 2})
+			}
+			sig = (sig<<3 ^ uint16(uint64(c.stride)&0x3f)) & (ipcpCPLXSize - 1)
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+
+	// GS class: dense streaming region → deep next-line burst.
+	if stream {
+		for k := 1; k <= ipcpGSDegree; k++ {
+			d := int64(k * r.dir)
+			if t, ok := targetOf(line + d); ok {
+				out = append(out, Candidate{Target: t, Delta: d, Meta: 3})
+			}
+		}
+		return out
+	}
+
+	// NL fallback on misses.
+	if !a.Hit {
+		if t, ok := targetOf(line + 1); ok {
+			out = append(out, Candidate{Target: t, Delta: 1, Meta: 4})
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestCandidateCrossesPage(t *testing.T) {
+	trigger := uint64(mem.PageSize - mem.LineSize) // last line of page 0
+	inPage := Candidate{Target: trigger - mem.LineSize}
+	if inPage.CrossesPage(trigger) {
+		t.Fatal("in-page candidate flagged as crossing")
+	}
+	cross := Candidate{Target: mem.PageSize}
+	if !cross.CrossesPage(trigger) {
+		t.Fatal("page-crossing candidate not flagged")
+	}
+}
+
+func TestTargetOfUnderflow(t *testing.T) {
+	if _, ok := targetOf(-1); ok {
+		t.Fatal("negative line accepted")
+	}
+	if a, ok := targetOf(5); !ok || a != 5*mem.LineSize {
+		t.Fatalf("targetOf(5) = %d, %v", a, ok)
+	}
+}
+
+// streamAccesses produces a sequential stream of line-granularity accesses
+// for one PC, spaced in time.
+func streamAccesses(pc uint64, start uint64, n int, strideLines int64, cycleStep uint64) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = Access{
+			Addr:  start + uint64(int64(i)*strideLines*mem.LineSize),
+			PC:    pc,
+			Cycle: uint64(i) * cycleStep,
+		}
+	}
+	return out
+}
+
+func TestBertiLearnsTimelyDelta(t *testing.T) {
+	b := NewBerti()
+	b.FillLatency(100) // ~100-cycle misses
+	var got []Candidate
+	// Stride-1 stream, 200 cycles apart: a delta of 1 is timely (one access
+	// back is 200 >= latency), and larger deltas too.
+	for _, a := range streamAccesses(0x400100, 0x10000, 64, 1, 200) {
+		got = b.Train(a)
+	}
+	if len(got) == 0 {
+		t.Fatal("Berti issued nothing on a regular stream")
+	}
+	for _, c := range got {
+		if c.Delta <= 0 {
+			t.Fatalf("stream should yield positive deltas, got %d", c.Delta)
+		}
+	}
+}
+
+func TestBertiRequiresTimeliness(t *testing.T) {
+	b := NewBerti()
+	b.FillLatency(1 << 20) // absurd latency: nothing is ever timely
+	var got []Candidate
+	for _, a := range streamAccesses(0x400100, 0x10000, 64, 1, 10) {
+		got = b.Train(a)
+	}
+	if len(got) != 0 {
+		t.Fatalf("non-timely deltas issued: %+v", got)
+	}
+}
+
+func TestBertiCrossesPagesOnLongStream(t *testing.T) {
+	b := NewBerti()
+	b.FillLatency(50)
+	crossed := false
+	for _, a := range streamAccesses(0x400100, 0x10000, 256, 4, 100) {
+		for _, c := range b.Train(a) {
+			if c.CrossesPage(a.Addr) {
+				crossed = true
+			}
+		}
+	}
+	if !crossed {
+		t.Fatal("a stride-4 stream over 16 pages should produce page-cross candidates")
+	}
+}
+
+func TestIPCPConstantStride(t *testing.T) {
+	p := NewIPCP()
+	var got []Candidate
+	for _, a := range streamAccesses(0x400200, 0x20000, 16, 3, 10) {
+		got = p.Train(a)
+	}
+	if len(got) == 0 {
+		t.Fatal("IPCP CS class issued nothing for a constant stride")
+	}
+	if got[0].Delta != 3 {
+		t.Fatalf("first CS candidate delta = %d, want 3", got[0].Delta)
+	}
+	if len(got) != ipcpCSDegree {
+		t.Fatalf("CS degree = %d, want %d", len(got), ipcpCSDegree)
+	}
+}
+
+func TestIPCPNextLineFallbackOnMiss(t *testing.T) {
+	p := NewIPCP()
+	got := p.Train(Access{Addr: 0x5000, PC: 0x400300, Hit: false})
+	if len(got) != 1 || got[0].Delta != 1 {
+		t.Fatalf("NL fallback: %+v", got)
+	}
+	got = p.Train(Access{Addr: 0x9000, PC: 0x400300, Hit: true})
+	if len(got) != 0 {
+		t.Fatalf("hit with no classification should not prefetch: %+v", got)
+	}
+}
+
+func TestIPCPGlobalStream(t *testing.T) {
+	p := NewIPCP()
+	// Touch a region densely with many PCs (defeats CS) and hits (defeats NL).
+	var got []Candidate
+	base := uint64(0x40000)
+	for i := 0; i < 32; i++ {
+		got = p.Train(Access{Addr: base + uint64(i)*mem.LineSize, PC: uint64(0x1000 + i), Hit: true, Cycle: uint64(i)})
+	}
+	if len(got) == 0 {
+		t.Fatal("GS class issued nothing on a dense region")
+	}
+	if len(got) != ipcpGSDegree {
+		t.Fatalf("GS burst depth = %d, want %d", len(got), ipcpGSDegree)
+	}
+}
+
+func TestBOPLearnsOffset(t *testing.T) {
+	b := NewBOP()
+	// Stride-8 miss stream: offset 8 should win a learning round.
+	addr := uint64(0x100000)
+	for i := 0; i < 4096; i++ {
+		b.Train(Access{Addr: addr, PC: 0x400400, Hit: false, Cycle: uint64(i)})
+		addr += 8 * mem.LineSize
+	}
+	off, active := b.BestOffset()
+	if !active {
+		t.Fatal("BOP inactive on a regular stream")
+	}
+	if off != 8 {
+		t.Fatalf("best offset = %d, want 8", off)
+	}
+}
+
+func TestBOPDeactivatesOnRandom(t *testing.T) {
+	b := NewBOP()
+	// Pseudo-random misses: no offset correlates.
+	x := uint64(12345)
+	for i := 0; i < 8192; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		b.Train(Access{Addr: (x % (1 << 30)) &^ (mem.LineSize - 1), Hit: false})
+	}
+	if _, active := b.BestOffset(); active {
+		t.Fatal("BOP should turn itself off on random traffic")
+	}
+}
+
+func TestBOPEmitsCandidate(t *testing.T) {
+	b := NewBOP()
+	got := b.Train(Access{Addr: 0x10000, Hit: false})
+	if len(got) != 1 {
+		t.Fatalf("candidates = %d, want 1 (default offset active)", len(got))
+	}
+	if got[0].Delta != bopDefaultBest {
+		t.Fatalf("delta = %d", got[0].Delta)
+	}
+}
+
+func TestSPPFollowsSignaturePath(t *testing.T) {
+	s := NewSPP()
+	// Train a repeating +2 pattern across many pages, then expect lookahead.
+	var got []Candidate
+	for page := 0; page < 32; page++ {
+		base := uint64(0x100000 + page*mem.PageSize)
+		for o := 0; o < 30; o += 2 {
+			got = s.Train(Access{Addr: base + uint64(o)*mem.LineSize})
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("SPP issued nothing on a trained pattern")
+	}
+	if got[0].Delta != 2 {
+		t.Fatalf("first lookahead delta = %d, want 2", got[0].Delta)
+	}
+	if len(got) < 2 {
+		t.Fatalf("lookahead depth = %d, want >= 2", len(got))
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	n := &NextLine{}
+	got := n.Train(Access{Addr: 0x1000})
+	if len(got) != 1 || got[0].Target != 0x1040 || got[0].Delta != 1 {
+		t.Fatalf("next-line: %+v", got)
+	}
+	n.Degree = 3
+	if got := n.Train(Access{Addr: 0x1000}); len(got) != 3 {
+		t.Fatalf("degree-3 produced %d", len(got))
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	engines := []Prefetcher{NewBerti(), NewIPCP(), NewBOP(), NewSPP(), &NextLine{}}
+	seen := map[string]bool{}
+	for _, e := range engines {
+		name := e.Name()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+		e.FillLatency(100) // must not panic on any engine
+	}
+}

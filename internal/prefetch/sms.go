@@ -1,0 +1,114 @@
+package prefetch
+
+// SMS reimplements Spatial Memory Streaming (Somogyi et al., ISCA 2006):
+// the prefetcher learns, per (PC, first-offset) trigger, the *spatial
+// footprint* of a region — the bitmap of lines the program touches around
+// the trigger — and on the next occurrence of the same trigger prefetches
+// the whole recorded footprint at once. Footprints are recorded in an
+// active generation table while a region is live and promoted to a pattern
+// history table when the region is evicted from observation.
+//
+// SMS regions here are 2KB (32 lines), so a footprint can extend past the
+// trigger's 4KB page when the trigger lands near a page edge — another
+// distinct page-cross profile for the filter.
+
+const (
+	smsRegionLines = 32 // 2KB regions
+	smsAGTSize     = 32 // active generation table entries
+	smsPHTSize     = 2048
+)
+
+type smsAGTEntry struct {
+	region  int64
+	trigger uint64 // hash of (PC, offset-in-region)
+	bitmap  uint64
+	valid   bool
+	clock   uint64
+}
+
+type smsPHTEntry struct {
+	trigger uint64
+	bitmap  uint64
+	valid   bool
+}
+
+// SMS is the spatial-memory-streaming prefetcher.
+type SMS struct {
+	NopLatency
+	agt   [smsAGTSize]smsAGTEntry
+	pht   []smsPHTEntry
+	clock uint64
+}
+
+// NewSMS builds an SMS engine.
+func NewSMS() *SMS { return &SMS{pht: make([]smsPHTEntry, smsPHTSize)} }
+
+// Name implements Prefetcher.
+func (s *SMS) Name() string { return "sms" }
+
+func smsTrigger(pc uint64, offset int64) uint64 {
+	h := pc*0x9E3779B97F4A7C15 ^ uint64(offset)*0xBF58476D1CE4E5B9
+	return h ^ h>>29
+}
+
+func (s *SMS) phtSlot(trigger uint64) *smsPHTEntry {
+	return &s.pht[(trigger>>16)%uint64(len(s.pht))]
+}
+
+// Train implements Prefetcher.
+func (s *SMS) Train(a Access) []Candidate {
+	line := lineOf(a.Addr)
+	region := line / smsRegionLines
+	offset := line - region*smsRegionLines
+	s.clock++
+
+	// Record into the active generation.
+	var entry *smsAGTEntry
+	var victim *smsAGTEntry
+	var oldest uint64 = ^uint64(0)
+	for i := range s.agt {
+		e := &s.agt[i]
+		if e.valid && e.region == region {
+			entry = e
+			break
+		}
+		if !e.valid {
+			victim = e
+			oldest = 0
+			continue
+		}
+		if oldest != 0 && e.clock < oldest {
+			oldest = e.clock
+			victim = e
+		}
+	}
+
+	var out []Candidate
+	if entry == nil {
+		// New generation: promote the victim's footprint to the PHT, then
+		// start recording, and prefetch the footprint predicted for this
+		// trigger if we have seen it before.
+		if victim.valid {
+			slot := s.phtSlot(victim.trigger)
+			*slot = smsPHTEntry{trigger: victim.trigger, bitmap: victim.bitmap, valid: true}
+		}
+		trig := smsTrigger(a.PC, offset)
+		*victim = smsAGTEntry{region: region, trigger: trig, bitmap: 0, clock: s.clock, valid: true}
+		entry = victim
+
+		if p := s.phtSlot(trig); p.valid && p.trigger == trig {
+			base := region * smsRegionLines
+			for bit := 0; bit < smsRegionLines; bit++ {
+				if p.bitmap&(1<<uint(bit)) == 0 || int64(bit) == offset {
+					continue
+				}
+				if t, ok := targetOf(base + int64(bit)); ok {
+					out = append(out, Candidate{Target: t, Delta: base + int64(bit) - line})
+				}
+			}
+		}
+	}
+	entry.bitmap |= 1 << uint(offset)
+	entry.clock = s.clock
+	return out
+}

@@ -1,0 +1,168 @@
+package prefetch
+
+// SPP reimplements the Signature Path Prefetcher of Kim et al. (MICRO
+// 2016), the paper's L2C comparator (§V-B7) and the prefetcher PPF was
+// designed for. SPP compresses the history of in-page deltas into a
+// signature, looks the signature up in a pattern table to predict the next
+// delta, and follows the predicted path speculatively ("lookahead") while
+// the product of per-step confidences stays above a threshold.
+
+const (
+	sppSigBits   = 12
+	sppSigMask   = 1<<sppSigBits - 1
+	sppSTSize    = 256  // signature (page tracker) table entries
+	sppPTSize    = 2048 // pattern table entries
+	sppPTWays    = 4    // delta slots per signature
+	sppConfThres = 25   // stop lookahead below this confidence (percent)
+	sppMaxDepth  = 8
+)
+
+type sppSTEntry struct {
+	page    int64
+	sig     uint16
+	lastOff int64
+	valid   bool
+}
+
+type sppPTDelta struct {
+	delta int64
+	count int
+}
+
+type sppPTEntry struct {
+	deltas [sppPTWays]sppPTDelta
+	total  int
+}
+
+// SPP is the signature-path prefetcher.
+type SPP struct {
+	NopLatency
+	st [sppSTSize]sppSTEntry
+	pt [sppPTSize]sppPTEntry
+}
+
+// NewSPP builds an SPP engine.
+func NewSPP() *SPP { return &SPP{} }
+
+// Name implements Prefetcher.
+func (s *SPP) Name() string { return "spp" }
+
+func sppAdvance(sig uint16, delta int64) uint16 {
+	return uint16((uint64(sig)<<3 ^ uint64(delta)&0x3f) & sppSigMask)
+}
+
+func (s *SPP) stEntry(page int64) *sppSTEntry {
+	h := uint64(page) * 0x9E3779B97F4A7C15
+	e := &s.st[(h>>24)%sppSTSize]
+	if !e.valid || e.page != page {
+		*e = sppSTEntry{page: page, valid: true}
+	}
+	return e
+}
+
+func (s *SPP) ptUpdate(sig uint16, delta int64) {
+	e := &s.pt[sig%sppPTSize]
+	e.total++
+	var victim *sppPTDelta
+	minCount := int(^uint(0) >> 1)
+	for i := range e.deltas {
+		d := &e.deltas[i]
+		if d.count > 0 && d.delta == delta {
+			d.count++
+			return
+		}
+		if d.count < minCount {
+			minCount = d.count
+			victim = d
+		}
+	}
+	*victim = sppPTDelta{delta: delta, count: 1}
+}
+
+// ptBest returns the strongest predicted delta and its confidence percent.
+func (s *SPP) ptBest(sig uint16) (delta int64, confPct int, ok bool) {
+	e := &s.pt[sig%sppPTSize]
+	if e.total == 0 {
+		return 0, 0, false
+	}
+	best := -1
+	for i := range e.deltas {
+		if e.deltas[i].count > 0 && (best == -1 || e.deltas[i].count > e.deltas[best].count) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return e.deltas[best].delta, 100 * e.deltas[best].count / e.total, true
+}
+
+// Train implements Prefetcher.
+func (s *SPP) Train(a Access) []Candidate {
+	line := lineOf(a.Addr)
+	page := line >> 6 // 64 lines per 4KB page
+	off := line & 63
+
+	e := s.stEntry(page)
+	if e.sig != 0 || e.lastOff != 0 {
+		if d := off - e.lastOff; d != 0 {
+			s.ptUpdate(e.sig, d)
+			e.sig = sppAdvance(e.sig, d)
+		}
+	} else {
+		// First touch of the page: seed the signature with the offset.
+		e.sig = uint16(off) & sppSigMask
+	}
+	e.lastOff = off
+
+	// Lookahead along the signature path.
+	var out []Candidate
+	sig := e.sig
+	cur := line
+	conf := 100
+	for depth := 0; depth < sppMaxDepth; depth++ {
+		d, c, ok := s.ptBest(sig)
+		if !ok || d == 0 {
+			break
+		}
+		conf = conf * c / 100
+		if conf < sppConfThres {
+			break
+		}
+		cur += d
+		if t, tok := targetOf(cur); tok {
+			out = append(out, Candidate{Target: t, Delta: cur - line})
+		} else {
+			break
+		}
+		sig = sppAdvance(sig, d)
+	}
+	return out
+}
+
+// NextLine is the trivial sequential prefetcher used at the L1I (and as a
+// baseline engine in tests).
+type NextLine struct {
+	NopLatency
+	// Degree is how many sequential lines to prefetch (default 1).
+	Degree int
+}
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string { return "nextline" }
+
+// Train implements Prefetcher.
+func (n *NextLine) Train(a Access) []Candidate {
+	deg := n.Degree
+	if deg <= 0 {
+		deg = 1
+	}
+	line := lineOf(a.Addr)
+	out := make([]Candidate, 0, deg)
+	for k := 1; k <= deg; k++ {
+		if t, ok := targetOf(line + int64(k)); ok {
+			out = append(out, Candidate{Target: t, Delta: int64(k)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package prefetch
+
+// Stride is the classic per-PC stride prefetcher (Chen & Baer style), the
+// baseline engine most commercial L1D prefetchers descend from. It is not
+// one of the paper's three subjects but rounds out the library: the MOKA
+// framework is prefetcher-agnostic, and a stride engine exercises the
+// filter with a very different page-cross profile (only multi-line strides
+// ever cross pages).
+
+const (
+	strideTableSize = 256
+	strideConfMax   = 3
+	strideDegree    = 2
+)
+
+type strideEntry struct {
+	tag      uint64
+	lastLine int64
+	stride   int64
+	conf     int
+	valid    bool
+}
+
+// Stride is the per-PC stride prefetcher.
+type Stride struct {
+	NopLatency
+	table []strideEntry
+	// Degree is the number of stride multiples issued (default 2).
+	Degree int
+}
+
+// NewStride builds a stride engine.
+func NewStride() *Stride {
+	return &Stride{table: make([]strideEntry, strideTableSize), Degree: strideDegree}
+}
+
+// Name implements Prefetcher.
+func (s *Stride) Name() string { return "stride" }
+
+// Train implements Prefetcher.
+func (s *Stride) Train(a Access) []Candidate {
+	line := lineOf(a.Addr)
+	h := a.PC * 0x9E3779B97F4A7C15
+	e := &s.table[(h>>18)%uint64(len(s.table))]
+	if !e.valid || e.tag != a.PC {
+		*e = strideEntry{tag: a.PC, lastLine: line, valid: true}
+		return nil
+	}
+	d := line - e.lastLine
+	e.lastLine = line
+	if d == 0 {
+		return nil
+	}
+	if d == e.stride {
+		if e.conf < strideConfMax {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = d
+		}
+	}
+	if e.conf < 2 || e.stride == 0 {
+		return nil
+	}
+	deg := s.Degree
+	if deg <= 0 {
+		deg = strideDegree
+	}
+	out := make([]Candidate, 0, deg)
+	for k := 1; k <= deg; k++ {
+		if t, ok := targetOf(line + e.stride*int64(k)); ok {
+			out = append(out, Candidate{Target: t, Delta: e.stride * int64(k)})
+		}
+	}
+	return out
+}

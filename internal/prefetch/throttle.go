@@ -1,0 +1,83 @@
+package prefetch
+
+// Throttle implements Feedback-Directed Prefetching (Srinath et al., HPCA
+// 2007) as a wrapper around any engine: it tracks prefetch accuracy over
+// fixed intervals and moves an aggressiveness level up or down, enforcing
+// the level by capping how many candidates per access pass through. FDP is
+// the classic *prefetch management* alternative the paper's related work
+// contrasts with filtering (§VI): it throttles the whole engine rather
+// than predicting per-prefetch usefulness, so it cannot selectively keep
+// the useful page-cross prefetches — which is exactly the comparison the
+// FDP scenario in the benchmarks makes.
+
+const (
+	fdpIntervalAccesses = 2048
+	fdpLevels           = 4 // degree caps 1..4
+	fdpAccuracyHigh     = 0.75
+	fdpAccuracyLow      = 0.40
+)
+
+// Throttle wraps an engine with FDP aggressiveness control.
+type Throttle struct {
+	Engine Prefetcher
+
+	level    int // 1..fdpLevels (degree cap)
+	accesses uint64
+
+	// Interval feedback, supplied by the cache owner via Feedback.
+	useful, useless uint64
+}
+
+// NewThrottle wraps engine starting at full aggressiveness.
+func NewThrottle(engine Prefetcher) *Throttle {
+	return &Throttle{Engine: engine, level: fdpLevels}
+}
+
+// Name implements Prefetcher.
+func (t *Throttle) Name() string { return t.Engine.Name() + "+fdp" }
+
+// FillLatency implements Prefetcher.
+func (t *Throttle) FillLatency(lat uint64) { t.Engine.FillLatency(lat) }
+
+// Feedback reports a prefetch outcome (useful = served a demand hit).
+// The simulator calls it from the cache's usefulness hooks.
+func (t *Throttle) Feedback(useful bool) {
+	if useful {
+		t.useful++
+	} else {
+		t.useless++
+	}
+}
+
+// Level returns the current aggressiveness (degree cap).
+func (t *Throttle) Level() int { return t.level }
+
+// Train implements Prefetcher: delegate, then cap by the current level and
+// close out the interval when due.
+func (t *Throttle) Train(a Access) []Candidate {
+	out := t.Engine.Train(a)
+	if len(out) > t.level {
+		out = out[:t.level]
+	}
+	t.accesses++
+	if t.accesses%fdpIntervalAccesses == 0 {
+		t.adjust()
+	}
+	return out
+}
+
+// adjust applies the FDP interval rule: high accuracy → more aggressive,
+// low accuracy → less aggressive.
+func (t *Throttle) adjust() {
+	total := t.useful + t.useless
+	if total >= 16 {
+		acc := float64(t.useful) / float64(total)
+		switch {
+		case acc >= fdpAccuracyHigh && t.level < fdpLevels:
+			t.level++
+		case acc < fdpAccuracyLow && t.level > 1:
+			t.level--
+		}
+	}
+	t.useful, t.useless = 0, 0
+}

@@ -1,0 +1,62 @@
+package prefetch
+
+import "testing"
+
+func TestThrottleCapsDegree(t *testing.T) {
+	inner := &NextLine{Degree: 4}
+	th := NewThrottle(inner)
+	if th.Level() != fdpLevels {
+		t.Fatalf("initial level %d", th.Level())
+	}
+	// Drive accuracy to the floor: every interval reports useless.
+	for i := 0; i < fdpIntervalAccesses*4; i++ {
+		th.Feedback(false)
+		th.Train(Access{Addr: uint64(i) * 64})
+	}
+	if th.Level() != 1 {
+		t.Fatalf("level after useless feedback = %d, want 1", th.Level())
+	}
+	got := th.Train(Access{Addr: 0x100000})
+	if len(got) != 1 {
+		t.Fatalf("throttled candidates = %d, want 1", len(got))
+	}
+}
+
+func TestThrottleRecovers(t *testing.T) {
+	th := NewThrottle(&NextLine{Degree: 4})
+	// Down...
+	for i := 0; i < fdpIntervalAccesses*4; i++ {
+		th.Feedback(false)
+		th.Train(Access{Addr: uint64(i) * 64})
+	}
+	// ...and back up on good accuracy.
+	for i := 0; i < fdpIntervalAccesses*4; i++ {
+		th.Feedback(true)
+		th.Train(Access{Addr: uint64(i) * 64})
+	}
+	if th.Level() != fdpLevels {
+		t.Fatalf("level after useful feedback = %d, want %d", th.Level(), fdpLevels)
+	}
+}
+
+func TestThrottleIgnoresTinySamples(t *testing.T) {
+	th := NewThrottle(&NextLine{Degree: 4})
+	// A handful of useless outcomes must not move the level.
+	for i := 0; i < 5; i++ {
+		th.Feedback(false)
+	}
+	for i := 0; i < fdpIntervalAccesses; i++ {
+		th.Train(Access{Addr: uint64(i) * 64})
+	}
+	if th.Level() != fdpLevels {
+		t.Fatalf("level moved on a %d-sample interval", 5)
+	}
+}
+
+func TestThrottleName(t *testing.T) {
+	th := NewThrottle(NewBerti())
+	if th.Name() != "berti+fdp" {
+		t.Fatalf("name = %q", th.Name())
+	}
+	th.FillLatency(100) // must delegate without panic
+}

@@ -1,0 +1,219 @@
+// Package ptw implements the hardware page-table walker of Table IV: a
+// 5-level radix walk with split page-structure caches (one small
+// fully-associative cache per non-leaf level), walk reads issued as
+// physical memory references through the cache hierarchy (so walks enjoy
+// cache locality and pollute caches, both of which the paper's analysis
+// depends on), variable walk latency, and merging of concurrent walks to
+// the same page. Walks triggered on behalf of page-cross prefetches are
+// tagged speculative (§III-A step D).
+package ptw
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/vmem"
+)
+
+// CacheLevel is the dependency the walker issues its page-table reads into.
+type CacheLevel = cache.Level
+
+// Config sizes the walker.
+type Config struct {
+	// PSCEntries holds the entry count of the page-structure cache for
+	// each non-leaf level, indexed by vmem level (PML5..PD). Table IV:
+	// L5:1, L4:2, L3:8, L2:32.
+	PSCEntries [vmem.LevelPT]int
+	// PSCLatency is the (parallel) PSC lookup latency in cycles.
+	PSCLatency uint64
+	// StepLatency is the fixed walker overhead per level read, on top of
+	// the memory access itself.
+	StepLatency uint64
+	// MaxInflight bounds concurrent walks; further walks queue.
+	MaxInflight int
+}
+
+// DefaultConfig matches Table IV.
+func DefaultConfig() Config {
+	return Config{
+		PSCEntries:  [vmem.LevelPT]int{1, 2, 8, 32},
+		PSCLatency:  1,
+		StepLatency: 1,
+		MaxInflight: 8,
+	}
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	for l, n := range c.PSCEntries {
+		if n <= 0 {
+			return fmt.Errorf("ptw: PSC level %s has %d entries", vmem.LevelName(l), n)
+		}
+	}
+	if c.MaxInflight <= 0 {
+		return fmt.Errorf("ptw: MaxInflight %d must be positive", c.MaxInflight)
+	}
+	return nil
+}
+
+// psc is one fully-associative page-structure cache. A hit at level l means
+// the walker already knows the entry read at level l and resumes at l+1.
+type psc struct {
+	entries map[uint64]uint64 // tag → LRU stamp
+	cap     int
+	clock   uint64
+}
+
+func newPSC(capacity int) *psc {
+	return &psc{entries: make(map[uint64]uint64, capacity), cap: capacity}
+}
+
+// tagFor derives the PSC tag at the given level: the VA bits that select
+// the entries from the root down to and including that level.
+func tagFor(va mem.VAddr, level int) uint64 {
+	shift := mem.PageBits + 9*(vmem.NumLevels-1-level)
+	return uint64(va) >> shift
+}
+
+func (p *psc) lookup(tag uint64) bool {
+	if _, ok := p.entries[tag]; ok {
+		p.clock++
+		p.entries[tag] = p.clock
+		return true
+	}
+	return false
+}
+
+func (p *psc) insert(tag uint64) {
+	if _, ok := p.entries[tag]; !ok && len(p.entries) >= p.cap {
+		// Evict the LRU tag.
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for t, stamp := range p.entries {
+			if stamp < oldest {
+				oldest = stamp
+				victim = t
+			}
+		}
+		delete(p.entries, victim)
+	}
+	p.clock++
+	p.entries[tag] = p.clock
+}
+
+type inflightWalk struct {
+	ready uint64
+	tr    vmem.Translation
+}
+
+// Walker is the hardware page-table walker for one core.
+type Walker struct {
+	cfg   Config
+	as    *vmem.AddressSpace
+	level cache.Level // where walk reads are issued (the L1D, per ChampSim)
+	pscs  [vmem.LevelPT]*psc
+
+	inflight map[uint64]*inflightWalk // 4K VPN → walk
+	Stats    *stats.PTWStats
+}
+
+// New builds a walker that resolves translations from as and issues its
+// page-table reads into level.
+func New(cfg Config, as *vmem.AddressSpace, level cache.Level) (*Walker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if as == nil || level == nil {
+		return nil, fmt.Errorf("ptw: nil address space or memory level")
+	}
+	w := &Walker{
+		cfg:      cfg,
+		as:       as,
+		level:    level,
+		inflight: make(map[uint64]*inflightWalk),
+		Stats:    &stats.PTWStats{},
+	}
+	for l := range w.pscs {
+		w.pscs[l] = newPSC(cfg.PSCEntries[l])
+	}
+	return w, nil
+}
+
+// gc retires finished walks.
+func (w *Walker) gc(cycle uint64) {
+	for vpn, fl := range w.inflight {
+		if fl.ready <= cycle {
+			delete(w.inflight, vpn)
+		}
+	}
+}
+
+// Inflight reports the number of walks outstanding at the given cycle.
+func (w *Walker) Inflight(cycle uint64) int {
+	w.gc(cycle)
+	return len(w.inflight)
+}
+
+// Walk translates va, returning the translation and the cycle at which it
+// is available. speculative marks walks triggered by page-cross prefetches.
+// Concurrent walks for the same page merge; the walker's MSHR-like inflight
+// limit delays walks beyond capacity.
+func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Translation, uint64) {
+	w.gc(cycle)
+
+	if fl, ok := w.inflight[va.PageID()]; ok {
+		// Merge with the walk already in flight.
+		return fl.tr, fl.ready
+	}
+
+	if speculative {
+		w.Stats.SpeculativeWalks++
+	} else {
+		w.Stats.Walks++
+	}
+
+	start := cycle
+	if len(w.inflight) >= w.cfg.MaxInflight {
+		earliest := ^uint64(0)
+		for _, fl := range w.inflight {
+			if fl.ready < earliest {
+				earliest = fl.ready
+			}
+		}
+		start = earliest
+		w.gc(start)
+	}
+
+	steps, tr := w.as.Walk(va)
+
+	// All PSCs are probed in parallel; the deepest hit decides where the
+	// walk resumes. Leaf reads (PT level, or PD level for 2MB leaves) are
+	// never served by a PSC.
+	firstLevel := 0
+	lastCacheable := len(steps) - 2 // deepest non-leaf step index
+	for i := lastCacheable; i >= 0; i-- {
+		level := steps[i].Level
+		if w.pscs[level].lookup(tagFor(va, level)) {
+			firstLevel = i + 1
+			w.Stats.PSCHits++
+			break
+		}
+	}
+
+	// Serialised reads for the remaining levels, each through the cache
+	// hierarchy (the next entry address depends on the previous read).
+	ready := start + w.cfg.PSCLatency
+	for i := firstLevel; i < len(steps); i++ {
+		req := &cache.Request{PA: steps[i].PA, Type: mem.PTWRead}
+		ready = w.level.Access(req, ready+w.cfg.StepLatency)
+		w.Stats.WalkMemAccesses++
+		if i <= lastCacheable {
+			w.pscs[steps[i].Level].insert(tagFor(va, steps[i].Level))
+		}
+	}
+
+	w.inflight[va.PageID()] = &inflightWalk{ready: ready, tr: tr}
+	return tr, ready
+}

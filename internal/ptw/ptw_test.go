@@ -1,0 +1,169 @@
+package ptw
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+// flatMem is a constant-latency memory that counts accesses.
+type flatMem struct {
+	latency  uint64
+	accesses int
+}
+
+func (f *flatMem) Access(req *cache.Request, cycle uint64) uint64 {
+	f.accesses++
+	return cycle + f.latency
+}
+
+func newWalker(t *testing.T, level cache.Level, large bool) (*Walker, *vmem.AddressSpace) {
+	t.Helper()
+	as, err := vmem.New(vmem.Config{MemBytes: 1 << 30, LargePages: large, LargePageFraction: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(DefaultConfig(), as, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, as
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PSCEntries[0] = 0
+	if cfg.Validate() == nil {
+		t.Fatal("zero PSC entries accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxInflight = 0
+	if cfg.Validate() == nil {
+		t.Fatal("zero MaxInflight accepted")
+	}
+	if _, err := New(DefaultConfig(), nil, &flatMem{}); err == nil {
+		t.Fatal("nil address space accepted")
+	}
+}
+
+func TestColdWalkReadsAllLevels(t *testing.T) {
+	m := &flatMem{latency: 100}
+	w, _ := newWalker(t, m, false)
+	_, ready := w.Walk(0x7000_1234_5000, 0, false)
+	if m.accesses != vmem.NumLevels {
+		t.Fatalf("cold 4K walk made %d reads, want %d", m.accesses, vmem.NumLevels)
+	}
+	// Serialised: at least 5 * 100 cycles.
+	if ready < 500 {
+		t.Fatalf("cold walk ready at %d, expected serialised latency", ready)
+	}
+	if w.Stats.Walks != 1 || w.Stats.WalkMemAccesses != 5 {
+		t.Fatalf("stats: %+v", w.Stats)
+	}
+}
+
+func TestPSCSkipsLevels(t *testing.T) {
+	m := &flatMem{latency: 100}
+	w, _ := newWalker(t, m, false)
+	w.Walk(0x7000_1234_5000, 0, false)
+	m.accesses = 0
+	// Neighbouring page shares all non-leaf levels → PDE PSC hit → 1 read.
+	_, ready := w.Walk(0x7000_1234_5000+mem.PageSize, 10000, false)
+	if m.accesses != 1 {
+		t.Fatalf("warm walk made %d reads, want 1 (PSC should skip non-leaf levels)", m.accesses)
+	}
+	if w.Stats.PSCHits != 1 {
+		t.Fatalf("PSC hits = %d", w.Stats.PSCHits)
+	}
+	if ready >= 10000+300 {
+		t.Fatalf("warm walk too slow: ready=%d", ready)
+	}
+}
+
+func TestLargePageWalkIsShorter(t *testing.T) {
+	m := &flatMem{latency: 100}
+	w, _ := newWalker(t, m, true)
+	w.Walk(0x4000_0000_0000, 0, false)
+	if m.accesses != vmem.LevelPD+1 {
+		t.Fatalf("cold 2M walk made %d reads, want %d", m.accesses, vmem.LevelPD+1)
+	}
+}
+
+func TestWalkMerging(t *testing.T) {
+	m := &flatMem{latency: 100}
+	w, _ := newWalker(t, m, false)
+	tr1, r1 := w.Walk(0x1000, 0, false)
+	n := m.accesses
+	tr2, r2 := w.Walk(0x1000, 5, false)
+	if m.accesses != n {
+		t.Fatal("merged walk should not issue new reads")
+	}
+	if tr1 != tr2 || r1 != r2 {
+		t.Fatal("merged walk should return the in-flight result")
+	}
+	if w.Stats.Walks != 1 {
+		t.Fatalf("merged walk counted twice: %+v", w.Stats)
+	}
+}
+
+func TestSpeculativeAccounting(t *testing.T) {
+	m := &flatMem{latency: 10}
+	w, _ := newWalker(t, m, false)
+	w.Walk(0x1000, 0, true)
+	w.Walk(0x8000_0000, 0, false)
+	if w.Stats.SpeculativeWalks != 1 || w.Stats.Walks != 1 {
+		t.Fatalf("stats: %+v", w.Stats)
+	}
+}
+
+func TestInflightLimitQueues(t *testing.T) {
+	m := &flatMem{latency: 1000}
+	as, err := vmem.New(vmem.Config{MemBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInflight = 2
+	w, err := New(cfg, as, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r1 := w.Walk(0x10_0000_0000, 0, false)
+	w.Walk(0x20_0000_0000, 0, false)
+	// Third concurrent walk must wait for a slot.
+	_, r3 := w.Walk(0x30_0000_0000, 0, false)
+	if r3 <= r1 {
+		t.Fatalf("third walk should queue behind the inflight limit: r1=%d r3=%d", r1, r3)
+	}
+	// Walk 1 retired when walk 3 claimed its slot, so 2 remain in flight.
+	if w.Inflight(1) != 2 {
+		t.Fatalf("inflight = %d, want 2", w.Inflight(1))
+	}
+}
+
+func TestWalkResultMatchesAddressSpace(t *testing.T) {
+	m := &flatMem{latency: 10}
+	w, as := newWalker(t, m, false)
+	va := mem.VAddr(0x7fff_4455_6000)
+	tr, _ := w.Walk(va, 0, false)
+	if tr != as.Translate(va) {
+		t.Fatal("walker translation disagrees with address space")
+	}
+}
+
+func TestPSCEvictionRespectsCapacity(t *testing.T) {
+	m := &flatMem{latency: 10}
+	w, _ := newWalker(t, m, false)
+	// Touch more distinct PD-level regions (2MB apart) than the PDE PSC
+	// holds (32): the PSC must evict, not grow without bound.
+	for i := 0; i < 100; i++ {
+		w.Walk(mem.VAddr(uint64(i)*mem.LargePageSize), uint64(i)*100000, false)
+	}
+	for l, p := range w.pscs {
+		if len(p.entries) > p.cap {
+			t.Fatalf("PSC %s over capacity: %d > %d", vmem.LevelName(l), len(p.entries), p.cap)
+		}
+	}
+}

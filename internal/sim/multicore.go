@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// MultiConfig describes an N-core system: private L1s/L2s/TLBs/walkers per
+// core, shared LLC and DRAM (Table IV's 8-core configuration).
+type MultiConfig struct {
+	// PerCore is the per-core configuration (policy, prefetchers, sizes).
+	// Its WarmupInstrs/SimInstrs fields set per-core budgets.
+	PerCore Config
+	// Cores is the core count (8 in the paper).
+	Cores int
+	// QuantumCycles is the round-robin interleave grain across cores.
+	QuantumCycles uint64
+}
+
+// DefaultMultiConfig returns the Table IV 8-core setup.
+func DefaultMultiConfig() MultiConfig {
+	per := DefaultConfig()
+	per.VMem.MemBytes = 16 << 30
+	per.Core.ReplayOnEnd = true
+	// Multi-core runs are heavy; the paper replays each workload until all
+	// cores finish their budgets.
+	return MultiConfig{PerCore: per, Cores: 8, QuantumCycles: 256}
+}
+
+// MultiSystem is an N-core machine with shared LLC and DRAM.
+type MultiSystem struct {
+	cfg     MultiConfig
+	Systems []*System
+	LLC     *cache.Cache
+	DRAM    *dram.DRAM
+}
+
+// NewMulti builds the machine.
+func NewMulti(cfg MultiConfig) (*MultiSystem, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sim: core count %d must be positive", cfg.Cores)
+	}
+	if cfg.QuantumCycles == 0 {
+		cfg.QuantumCycles = 256
+	}
+	d, err := dram.New(cfg.PerCore.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New(cfg.PerCore.LLC, d)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiSystem{cfg: cfg, LLC: llc, DRAM: d}
+	for i := 0; i < cfg.Cores; i++ {
+		per := cfg.PerCore
+		per.VMem.Seed = cfg.PerCore.VMem.Seed + uint64(i)*7919
+		per.Core.ReplayOnEnd = true
+		sys, err := newSystem(per, llc, d)
+		if err != nil {
+			return nil, err
+		}
+		m.Systems = append(m.Systems, sys)
+	}
+	return m, nil
+}
+
+// RunMix runs one multi-programmed mix: workload[i] on core i. Per §IV-A2,
+// cores that finish their instruction budget replay their trace until every
+// core has finished; statistics stop at each core's own budget boundary
+// (the core stops retiring into Stats once its budget is spent, so replay
+// only keeps pressure on the shared levels).
+func (m *MultiSystem) RunMix(mix []trace.Workload) ([]*stats.Run, error) {
+	if len(mix) != len(m.Systems) {
+		return nil, fmt.Errorf("sim: mix has %d workloads for %d cores", len(mix), len(m.Systems))
+	}
+	// Warmup phase.
+	readers := make([]trace.Reader, len(mix))
+	for i, w := range mix {
+		r, err := w.NewReader()
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = r
+		m.Systems[i].Core.Attach(r, m.cfg.PerCore.WarmupInstrs)
+	}
+	m.interleave()
+	for _, sys := range m.Systems {
+		sys.ResetStats()
+	}
+	m.DRAM.Stats = dram.Stats{}
+	*m.LLC.Stats = stats.CacheStats{}
+
+	// Measured phase: each core's statistics are snapshotted the moment its
+	// own budget retires; cores that finish early are re-attached (replay)
+	// so they keep contending on the shared LLC and DRAM until every core
+	// has finished, as §IV-A2 prescribes.
+	for i := range mix {
+		m.Systems[i].Core.Attach(readers[i], m.cfg.PerCore.SimInstrs)
+	}
+	out := make([]*stats.Run, len(mix))
+	remaining := len(mix)
+	for remaining > 0 {
+		for i, sys := range m.Systems {
+			if out[i] == nil && sys.Core.Done() {
+				out[i] = sys.Collect(mix[i].Name, mix[i].Suite)
+				out[i].LLC = *m.LLC.Stats // shared level
+				remaining--
+				if remaining == 0 {
+					break
+				}
+				sys.Core.Attach(readers[i], m.cfg.PerCore.SimInstrs)
+			}
+			sys.Core.StepCycles(m.cfg.QuantumCycles)
+		}
+	}
+	return out, nil
+}
+
+// interleave steps all cores in round-robin quanta until every core is done.
+func (m *MultiSystem) interleave() {
+	for {
+		allDone := true
+		for _, sys := range m.Systems {
+			if !sys.Core.Done() {
+				allDone = false
+				sys.Core.StepCycles(m.cfg.QuantumCycles)
+			}
+		}
+		if allDone {
+			return
+		}
+	}
+}

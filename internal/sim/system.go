@@ -1,0 +1,608 @@
+// Package sim wires the substrates into the simulated machines of Table IV:
+// a single-core system (core + MMU + 3-level caches + DRAM + prefetchers +
+// page-cross policy) and an 8-core system sharing the LLC and DRAM. It owns
+// the glue the paper's mechanism lives in: classifying prefetch candidates
+// as in-page or page-cross, consulting the policy, driving speculative page
+// walks, tagging L1D blocks with the Page-Cross Bit, and feeding the
+// training and epoch hooks of the filter.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+// PolicyKind selects the page-cross prefetching policy.
+type PolicyKind string
+
+// The policy vocabulary of §V-A.
+const (
+	PolicyPermit     PolicyKind = "permit"      // Permit PGC
+	PolicyDiscard    PolicyKind = "discard"     // Discard PGC (baseline)
+	PolicyDiscardPTW PolicyKind = "discard-ptw" // issue only TLB-resident
+	PolicyDripper    PolicyKind = "dripper"     // MOKA/DRIPPER filter
+	PolicyPPF        PolicyKind = "ppf"         // converted PPF
+	PolicyPPFDthr    PolicyKind = "ppf+dthr"    // PPF + dynamic threshold
+	PolicyDripperSF  PolicyKind = "dripper-sf"  // system features only
+)
+
+// Config describes one simulated system.
+type Config struct {
+	Core cpu.Config
+	MMU  mmu.Config
+	L1I  cache.Config
+	L1D  cache.Config
+	L2C  cache.Config
+	LLC  cache.Config
+	DRAM dram.Config
+	VMem vmem.Config
+
+	// L1DPrefetcher selects "berti", "ipcp", "bop" or "none".
+	L1DPrefetcher string
+	// L2CPrefetcher selects "none", "spp", "ipcp", "bop" (§V-B7).
+	L2CPrefetcher string
+	// L1INextLine enables the L1I next-line prefetcher.
+	L1INextLine bool
+	// L1IPrefetcher optionally selects a specific instruction prefetcher:
+	// "nextline" (default when L1INextLine is set), "fnl+mma", or "none".
+	L1IPrefetcher string
+
+	// Policy selects the page-cross policy; FilterConfig overrides the
+	// built-in filter configuration when non-nil (single-feature filters,
+	// ablations).
+	Policy       PolicyKind
+	FilterConfig *core.Config
+
+	// ISOStorage grows the L1D prefetcher's main table by the filter's
+	// storage budget and forces Permit PGC (the ISO-Storage scenario).
+	ISOStorage bool
+
+	// FilterAt2MB makes the filter act on 2MB-boundary crossings when the
+	// prefetched block resides in a 2MB page (DRIPPER(filter@2MB), Fig 16).
+	FilterAt2MB bool
+
+	// MaxPrefetchDegree caps candidates consumed per demand access.
+	MaxPrefetchDegree int
+
+	// FDPThrottle wraps the L1D prefetcher with Feedback-Directed
+	// Prefetching aggressiveness control (the prefetch-management baseline
+	// of §VI), independent of the page-cross policy.
+	FDPThrottle bool
+
+	WarmupInstrs uint64
+	SimInstrs    uint64
+}
+
+// DefaultConfig returns the Table IV single-core configuration with Berti
+// and the Discard-PGC policy.
+func DefaultConfig() Config {
+	return Config{
+		Core: cpu.DefaultConfig(),
+		MMU:  mmu.DefaultConfig(),
+		// Geometry per Table IV. MSHR counts are scaled ~3x above Table IV
+		// because this simulator's first-order queueing model makes an
+		// exhausted MSHR cost a full completion wait, where a pipelined
+		// cache would only delay one issue slot; the scaled counts restore
+		// the paper's effective memory-level parallelism.
+		L1I:  cache.Config{Name: "l1i", Sets: 64, Ways: 8, Latency: 4, MSHRs: 24},
+		L1D:  cache.Config{Name: "l1d", Sets: 64, Ways: 12, Latency: 5, MSHRs: 48},
+		L2C:  cache.Config{Name: "l2c", Sets: 1024, Ways: 8, Latency: 10, MSHRs: 96},
+		LLC:  cache.Config{Name: "llc", Sets: 2048, Ways: 16, Latency: 20, MSHRs: 192},
+		DRAM: dram.DefaultConfig(),
+		VMem: vmem.Config{MemBytes: 4 << 30},
+
+		L1DPrefetcher:     "berti",
+		L2CPrefetcher:     "none",
+		L1INextLine:       true,
+		Policy:            PolicyDiscard,
+		MaxPrefetchDegree: 4,
+		WarmupInstrs:      250_000,
+		SimInstrs:         250_000,
+	}
+}
+
+// System is one single-core simulated machine.
+type System struct {
+	cfg Config
+
+	AS   *vmem.AddressSpace
+	MMU  *mmu.MMU
+	L1I  *cache.Cache
+	L1D  *cache.Cache
+	L2C  *cache.Cache
+	LLC  *cache.Cache
+	DRAM *dram.DRAM
+	Core *cpu.Core
+
+	L1DPf  prefetch.Prefetcher
+	L2CPf  prefetch.Prefetcher
+	L1IPf  prefetch.Prefetcher
+	Policy core.Policy
+
+	// Demand history for the filter's Input.
+	prevVA1, prevVA2 uint64
+	prevPC1, prevPC2 uint64
+	seenPages        map[uint64]struct{}
+
+	// Epoch bookkeeping: snapshots of the counters at the last epoch.
+	epochSnap epochCounters
+
+	// DebugLoadLatency, when non-nil, observes every demand load's
+	// (request cycle, ready cycle); diagnostics only.
+	DebugLoadLatency func(cycle, ready uint64)
+}
+
+type epochCounters struct {
+	instr, cycles         uint64
+	l1dAcc, l1dMiss       uint64
+	llcAcc, llcMiss       uint64
+	stlbAcc, stlbMiss     uint64
+	l1iMiss               uint64
+	pgcUseful, pgcUseless uint64
+}
+
+// newPrefetcher builds the named L1D engine.
+func newPrefetcher(name string, iso bool) (prefetch.Prefetcher, error) {
+	// The ISO-Storage scenario spends DRIPPER's 1.44KB budget on the
+	// prefetcher's main table instead (doubling it comfortably covers it).
+	switch name {
+	case "berti":
+		if iso {
+			return prefetch.NewBertiSized(512), nil
+		}
+		return prefetch.NewBerti(), nil
+	case "ipcp":
+		if iso {
+			return prefetch.NewIPCPSized(1024), nil
+		}
+		return prefetch.NewIPCP(), nil
+	case "bop":
+		if iso {
+			return prefetch.NewBOPSized(512), nil
+		}
+		return prefetch.NewBOP(), nil
+	case "stride":
+		return prefetch.NewStride(), nil
+	case "sms":
+		return prefetch.NewSMS(), nil
+	case "none", "":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("sim: unknown L1D prefetcher %q", name)
+}
+
+// newPolicy builds the configured page-cross policy.
+func newPolicy(cfg Config) (core.Policy, error) {
+	if cfg.ISOStorage {
+		return core.PermitPGC{}, nil
+	}
+	if cfg.FilterConfig != nil {
+		f, err := core.NewFilter(*cfg.FilterConfig)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilterPolicy(f), nil
+	}
+	switch cfg.Policy {
+	case PolicyPermit:
+		return core.PermitPGC{}, nil
+	case PolicyDiscard, "":
+		return core.DiscardPGC{}, nil
+	case PolicyDiscardPTW:
+		return core.DiscardPTW{}, nil
+	case PolicyDripper:
+		f, err := core.NewFilter(core.DefaultDripperConfig(cfg.L1DPrefetcher))
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilterPolicy(f), nil
+	case PolicyPPF:
+		f, err := core.NewFilter(core.PPFConfig())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilterPolicy(f), nil
+	case PolicyPPFDthr:
+		f, err := core.NewFilter(core.PPFDthrConfig())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilterPolicy(f), nil
+	case PolicyDripperSF:
+		f, err := core.NewFilter(core.DripperSFConfig(cfg.L1DPrefetcher))
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilterPolicy(f), nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q", cfg.Policy)
+}
+
+// New builds a system. sharedLLC and sharedDRAM may be nil (private) or
+// provided by the multi-core wrapper.
+func New(cfg Config) (*System, error) {
+	return newSystem(cfg, nil, nil)
+}
+
+func newSystem(cfg Config, sharedLLC *cache.Cache, sharedDRAM *dram.DRAM) (*System, error) {
+	s := &System{cfg: cfg, seenPages: make(map[uint64]struct{})}
+
+	var err error
+	if s.AS, err = vmem.New(cfg.VMem); err != nil {
+		return nil, err
+	}
+	if sharedDRAM != nil {
+		s.DRAM = sharedDRAM
+	} else if s.DRAM, err = dram.New(cfg.DRAM); err != nil {
+		return nil, err
+	}
+	if sharedLLC != nil {
+		s.LLC = sharedLLC
+	} else if s.LLC, err = cache.New(cfg.LLC, s.DRAM); err != nil {
+		return nil, err
+	}
+
+	if s.L2C, err = cache.New(cfg.L2C, s.LLC); err != nil {
+		return nil, err
+	}
+	// The L2 adapter trains the L2C prefetcher on the physical stream.
+	var l2Level cache.Level = s.L2C
+	if cfg.L2CPrefetcher != "" && cfg.L2CPrefetcher != "none" {
+		switch cfg.L2CPrefetcher {
+		case "spp":
+			s.L2CPf = prefetch.NewSPP()
+		case "ipcp":
+			s.L2CPf = prefetch.NewIPCP()
+		case "bop":
+			s.L2CPf = prefetch.NewBOP()
+		default:
+			return nil, fmt.Errorf("sim: unknown L2C prefetcher %q", cfg.L2CPrefetcher)
+		}
+		l2Level = &l2Adapter{sys: s}
+	}
+	if s.L1D, err = cache.New(cfg.L1D, l2Level); err != nil {
+		return nil, err
+	}
+	if s.L1I, err = cache.New(cfg.L1I, s.L2C); err != nil {
+		return nil, err
+	}
+	if s.MMU, err = mmu.New(cfg.MMU, s.AS, s.L1D); err != nil {
+		return nil, err
+	}
+
+	if s.L1DPf, err = newPrefetcher(cfg.L1DPrefetcher, cfg.ISOStorage); err != nil {
+		return nil, err
+	}
+	if cfg.FDPThrottle && s.L1DPf != nil {
+		s.L1DPf = prefetch.NewThrottle(s.L1DPf)
+	}
+	switch cfg.L1IPrefetcher {
+	case "fnl+mma":
+		s.L1IPf = prefetch.NewFNLMMA()
+	case "nextline":
+		s.L1IPf = &prefetch.NextLine{}
+	case "none":
+	case "":
+		if cfg.L1INextLine {
+			s.L1IPf = &prefetch.NextLine{}
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown L1I prefetcher %q", cfg.L1IPrefetcher)
+	}
+	if s.Policy, err = newPolicy(cfg); err != nil {
+		return nil, err
+	}
+
+	// L1D hooks feed the filter's training (Fig. 7).
+	s.L1D.OnDemandMiss = func(req *cache.Request) {
+		s.Policy.OnDemandMiss(req.VA.LineID())
+	}
+	s.L1D.OnDemandHit = func(h cache.HitInfo) {
+		if h.PageCross && h.FirstHit {
+			s.Policy.OnDemandHitPCB(h.PA.LineID())
+		}
+		if h.Prefetch && h.FirstHit {
+			if th, ok := s.L1DPf.(*prefetch.Throttle); ok {
+				th.Feedback(true)
+			}
+		}
+	}
+	s.L1D.OnEvict = func(e cache.EvictInfo) {
+		if e.PageCross {
+			s.Policy.OnEvictPCB(e.PA.LineID(), e.ServedHit)
+		}
+		if e.Prefetch && !e.ServedHit {
+			if th, ok := s.L1DPf.(*prefetch.Throttle); ok {
+				th.Feedback(false)
+			}
+		}
+	}
+
+	if s.Core, err = cpu.New(cfg.Core, cpu.Ports{
+		Fetch: s.fetch,
+		Load:  s.load,
+		Store: s.store,
+		Epoch: s.epoch,
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// l2Adapter interposes on the L1D→L2C path to train the L2C prefetcher,
+// whose candidates are clamped to the physical page (§II-A2).
+type l2Adapter struct{ sys *System }
+
+// Access implements cache.Level.
+func (a *l2Adapter) Access(req *cache.Request, cycle uint64) uint64 {
+	s := a.sys
+	missesBefore := s.L2C.Stats.DemandMisses
+	ready := s.L2C.Access(req, cycle)
+	if req.Type.IsDemand() && req.Type != mem.InstrFetch {
+		hit := s.L2C.Stats.DemandMisses == missesBefore
+		cands := s.L2CPf.Train(prefetch.Access{
+			Addr: uint64(req.PA), PC: uint64(req.PC), Cycle: cycle, Hit: hit,
+		})
+		for _, c := range cands {
+			if c.CrossesPage(uint64(req.PA)) {
+				continue // PIPT prefetchers must stay within the frame
+			}
+			pf := &cache.Request{PA: mem.PAddr(c.Target), PC: req.PC, Type: mem.Prefetch}
+			s.L2C.Access(pf, cycle)
+		}
+	}
+	return ready
+}
+
+// fetch is the instruction port: iTLB + L1I (+ next-line prefetch).
+func (s *System) fetch(pc uint64, cycle uint64) uint64 {
+	res := s.MMU.TranslateInstr(mem.VAddr(pc), cycle)
+	pa := res.Translation.PA(mem.VAddr(pc))
+	req := &cache.Request{PA: pa, VA: mem.VAddr(pc), PC: mem.VAddr(pc), Type: mem.InstrFetch}
+	ready := s.L1I.Access(req, res.Ready)
+
+	if s.L1IPf != nil {
+		for _, c := range s.L1IPf.Train(prefetch.Access{Addr: pc, PC: pc, Cycle: cycle}) {
+			if c.CrossesPage(pc) {
+				continue // instruction prefetching stays in-page
+			}
+			target := mem.VAddr(c.Target)
+			tpa := res.Translation.PA(target)
+			s.L1I.Access(&cache.Request{PA: tpa, VA: target, Type: mem.Prefetch}, cycle)
+		}
+	}
+	return ready
+}
+
+// load is the data-load port: dTLB (+walk) + L1D + prefetch machinery.
+func (s *System) load(pc, va uint64, cycle uint64) uint64 {
+	return s.demandAccess(pc, va, cycle, mem.Load)
+}
+
+// store is the data-store port.
+func (s *System) store(pc, va uint64, cycle uint64) uint64 {
+	return s.demandAccess(pc, va, cycle, mem.Store)
+}
+
+func (s *System) demandAccess(pc, va uint64, cycle uint64, kind mem.AccessType) uint64 {
+	res := s.MMU.TranslateData(mem.VAddr(va), cycle)
+	pa := res.Translation.PA(mem.VAddr(va))
+
+	missesBefore := s.L1D.Stats.DemandMisses
+	req := &cache.Request{PA: pa, VA: mem.VAddr(va), PC: mem.VAddr(pc), Type: kind}
+	ready := s.L1D.Access(req, res.Ready)
+	hit := s.L1D.Stats.DemandMisses == missesBefore
+
+	// First-touch tracking for the FirstPageAccess feature.
+	page := va >> mem.PageBits
+	_, seen := s.seenPages[page]
+	if !seen {
+		s.seenPages[page] = struct{}{}
+	}
+
+	if s.L1DPf != nil {
+		if !hit {
+			s.L1DPf.FillLatency(ready - cycle)
+		}
+		cands := s.L1DPf.Train(prefetch.Access{Addr: va, PC: pc, Cycle: cycle, Hit: hit})
+		s.issuePrefetches(pc, va, !seen, res.Translation.Kind, cands, cycle)
+	}
+
+	// Maintain the short demand history after using it for this access's
+	// prefetch decisions.
+	s.prevVA2, s.prevVA1 = s.prevVA1, va
+	s.prevPC2, s.prevPC1 = s.prevPC1, pc
+	if s.DebugLoadLatency != nil && kind == mem.Load {
+		s.DebugLoadLatency(res.Ready, ready)
+	}
+	return ready
+}
+
+// issuePrefetches classifies and issues the prefetcher's candidates.
+func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKind mem.PageSizeKind, cands []prefetch.Candidate, cycle uint64) {
+	degree := s.cfg.MaxPrefetchDegree
+	if degree <= 0 {
+		degree = len(cands)
+	}
+	for i, c := range cands {
+		if i >= degree {
+			break
+		}
+		target := mem.VAddr(c.Target)
+		crosses4K := c.CrossesPage(triggerVA)
+
+		if !crosses4K {
+			// In-page prefetch: translation is the trigger's.
+			res := s.MMU.TranslatePrefetch(target, cycle, false)
+			if res.Source == mmu.SrcDenied {
+				continue // cannot happen for the trigger page, but be safe
+			}
+			pa := res.Translation.PA(target)
+			s.L1D.Access(&cache.Request{
+				PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch, Delta: c.Delta,
+			}, res.Ready)
+			continue
+		}
+
+		// Page-cross candidate: consult the policy (Fig. 5 step B).
+		// DRIPPER(filter@2MB) exempts crossings that stay inside the
+		// trigger's 2MB large page.
+		if s.cfg.FilterAt2MB && triggerKind == mem.Page2M &&
+			target.LargePageID() == mem.VAddr(triggerVA).LargePageID() {
+			res := s.MMU.TranslatePrefetch(target, cycle, false)
+			if res.Source == mmu.SrcDenied {
+				continue
+			}
+			pa := res.Translation.PA(target)
+			s.L1D.Access(&cache.Request{
+				PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch,
+				IsPageCross: true, Delta: c.Delta,
+			}, res.Ready)
+			continue
+		}
+
+		in := core.Input{
+			PC: pc, VA: triggerVA, Delta: c.Delta, Meta: c.Meta,
+			PrevVA1: s.prevVA1, PrevVA2: s.prevVA2,
+			PrevPC1: s.prevPC1, PrevPC2: s.prevPC2,
+			FirstPageAccess: firstPage,
+		}
+		issue, allowWalk, tag := s.Policy.Decide(in)
+		if !issue {
+			s.Policy.RecordDiscard(target.LineID(), tag)
+			s.L1D.Stats.PGCDropped++
+			continue
+		}
+		res := s.MMU.TranslatePrefetch(target, cycle, allowWalk)
+		if res.Source == mmu.SrcDenied {
+			// Discard-PTW semantics: no speculative walk permitted.
+			s.Policy.RecordDiscard(target.LineID(), tag)
+			s.L1D.Stats.PGCDropped++
+			continue
+		}
+		pa := res.Translation.PA(target)
+		s.Policy.RecordIssue(pa.LineID(), tag)
+		s.L1D.Access(&cache.Request{
+			PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch,
+			IsPageCross: true, Delta: c.Delta,
+		}, res.Ready)
+	}
+}
+
+// epoch closes a filter epoch: it builds the SystemState snapshot from the
+// per-epoch deltas and ticks the policy.
+func (s *System) epoch(cycle, retired uint64) {
+	cur := epochCounters{
+		instr:      retired,
+		cycles:     s.Core.Stats.Cycles,
+		l1dAcc:     s.L1D.Stats.DemandAccesses,
+		l1dMiss:    s.L1D.Stats.DemandMisses,
+		llcAcc:     s.LLC.Stats.DemandAccesses,
+		llcMiss:    s.LLC.Stats.DemandMisses,
+		stlbAcc:    s.MMU.STLB.Stats.DemandAccesses,
+		stlbMiss:   s.MMU.STLB.Stats.DemandMisses,
+		l1iMiss:    s.L1I.Stats.DemandMisses,
+		pgcUseful:  s.L1D.Stats.PGCUseful,
+		pgcUseless: s.L1D.Stats.PGCUseless,
+	}
+	prev := s.epochSnap
+	s.epochSnap = cur
+
+	dInstr := float64(cur.instr - prev.instr)
+	if dInstr <= 0 {
+		return
+	}
+	rate := func(miss, acc uint64) float64 {
+		if acc == 0 {
+			return 0
+		}
+		return float64(miss) / float64(acc)
+	}
+	state := core.SystemState{
+		L1DMPKI:           float64(cur.l1dMiss-prev.l1dMiss) * 1000 / dInstr,
+		L1DMissRate:       rate(cur.l1dMiss-prev.l1dMiss, cur.l1dAcc-prev.l1dAcc),
+		LLCMPKI:           float64(cur.llcMiss-prev.llcMiss) * 1000 / dInstr,
+		LLCMissRate:       rate(cur.llcMiss-prev.llcMiss, cur.llcAcc-prev.llcAcc),
+		STLBMPKI:          float64(cur.stlbMiss-prev.stlbMiss) * 1000 / dInstr,
+		STLBMissRate:      rate(cur.stlbMiss-prev.stlbMiss, cur.stlbAcc-prev.stlbAcc),
+		L1IMPKI:           float64(cur.l1iMiss-prev.l1iMiss) * 1000 / dInstr,
+		ROBPressure:       s.Core.InstantROBOccupancyFrac(),
+		InflightL1DMisses: s.L1D.OutstandingMisses(cycle),
+		PGCUseful:         cur.pgcUseful - prev.pgcUseful,
+		PGCUseless:        cur.pgcUseless - prev.pgcUseless,
+	}
+	if dc := cur.cycles - prev.cycles; dc > 0 {
+		state.IPC = dInstr / float64(dc)
+	}
+	s.Policy.Tick(state)
+}
+
+// ResetStats zeroes all statistics (after warmup) while preserving
+// microarchitectural state.
+func (s *System) ResetStats() {
+	*s.Core.Stats = stats.CoreStats{}
+	*s.L1I.Stats = stats.CacheStats{}
+	*s.L1D.Stats = stats.CacheStats{}
+	*s.L2C.Stats = stats.CacheStats{}
+	*s.LLC.Stats = stats.CacheStats{}
+	*s.MMU.DTLB.Stats = stats.CacheStats{}
+	*s.MMU.ITLB.Stats = stats.CacheStats{}
+	*s.MMU.STLB.Stats = stats.CacheStats{}
+	*s.MMU.PTW.Stats = stats.PTWStats{}
+	s.DRAM.Stats = dram.Stats{}
+	s.epochSnap = epochCounters{}
+}
+
+// Collect gathers the current statistics into a Run.
+func (s *System) Collect(name, suite string) *stats.Run {
+	return &stats.Run{
+		Workload: name,
+		Suite:    suite,
+		Core:     *s.Core.Stats,
+		L1I:      *s.L1I.Stats,
+		L1D:      *s.L1D.Stats,
+		L2C:      *s.L2C.Stats,
+		LLC:      *s.LLC.Stats,
+		DTLB:     *s.MMU.DTLB.Stats,
+		ITLB:     *s.MMU.ITLB.Stats,
+		STLB:     *s.MMU.STLB.Stats,
+		PTW:      *s.MMU.PTW.Stats,
+	}
+}
+
+// RunWorkload builds a fresh system from cfg, warms it up on the workload,
+// measures SimInstrs instructions and returns the statistics.
+func RunWorkload(cfg Config, w trace.Workload) (*stats.Run, error) {
+	reader, err := w.NewReader()
+	if err != nil {
+		return nil, err
+	}
+	return RunTrace(cfg, w.Name, w.Suite, reader)
+}
+
+// RunTrace runs an arbitrary instruction stream (e.g. a recorded trace
+// file) through a fresh system: warmup, stats reset, measurement.
+func RunTrace(cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WarmupInstrs > 0 {
+		sys.Core.Attach(reader, cfg.WarmupInstrs)
+		sys.Core.Run()
+		sys.ResetStats()
+	}
+	sys.Core.Attach(reader, cfg.SimInstrs)
+	sys.Core.Run()
+	return sys.Collect(name, suite), nil
+}

@@ -1,0 +1,48 @@
+package stats
+
+import "fmt"
+
+// BootstrapGeomeanCI estimates a percentile confidence interval for the
+// geometric mean of xs by deterministic bootstrap resampling (seeded
+// splitmix64, so reports are reproducible). conf is the two-sided
+// confidence level in (0,1), e.g. 0.95.
+//
+// Experiment reports use this to qualify geomean speedups measured on
+// sampled workload subsets: a CI that straddles 1.0 means the subset is
+// too small to call a winner.
+func BootstrapGeomeanCI(xs []float64, resamples int, conf float64, seed uint64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap of empty slice")
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("stats: need at least 10 resamples, got %d", resamples)
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %g out of (0,1)", conf)
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, 0, fmt.Errorf("stats: bootstrap geomean requires positive values, got %g", x)
+		}
+	}
+
+	state := seed
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+
+	gms := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = xs[next()%uint64(len(xs))]
+		}
+		gms[r] = MustGeomean(sample)
+	}
+	alpha := (1 - conf) / 2
+	return Percentile(gms, alpha*100), Percentile(gms, (1-alpha)*100), nil
+}

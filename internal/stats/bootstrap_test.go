@@ -1,0 +1,61 @@
+package stats
+
+import "testing"
+
+func TestBootstrapCIBracketsGeomean(t *testing.T) {
+	xs := []float64{0.98, 1.01, 1.02, 1.03, 0.99, 1.05, 1.00, 1.02}
+	g := MustGeomean(xs)
+	lo, hi, err := BootstrapGeomeanCI(xs, 500, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= g && g <= hi) {
+		t.Fatalf("CI [%g, %g] does not bracket geomean %g", lo, hi, g)
+	}
+	if hi-lo <= 0 {
+		t.Fatalf("degenerate CI [%g, %g]", lo, hi)
+	}
+	// The CI must lie within the sample range.
+	if lo < 0.98 || hi > 1.05 {
+		t.Fatalf("CI [%g, %g] escapes the sample range", lo, hi)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	lo1, hi1, _ := BootstrapGeomeanCI(xs, 200, 0.9, 42)
+	lo2, hi2, _ := BootstrapGeomeanCI(xs, 200, 0.9, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("bootstrap not deterministic for a fixed seed")
+	}
+	lo3, _, _ := BootstrapGeomeanCI(xs, 200, 0.9, 43)
+	if lo3 == lo1 {
+		t.Log("different seed produced identical lo; unlikely but possible")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, _, err := BootstrapGeomeanCI(nil, 100, 0.95, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := BootstrapGeomeanCI([]float64{1}, 5, 0.95, 1); err == nil {
+		t.Fatal("too few resamples accepted")
+	}
+	if _, _, err := BootstrapGeomeanCI([]float64{1}, 100, 1.5, 1); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+	if _, _, err := BootstrapGeomeanCI([]float64{0}, 100, 0.95, 1); err == nil {
+		t.Fatal("non-positive value accepted")
+	}
+}
+
+func TestBootstrapNarrowsWithTightData(t *testing.T) {
+	tight := []float64{1.00, 1.00, 1.001, 0.999}
+	wide := []float64{0.5, 2.0, 0.7, 1.5}
+	lo1, hi1, _ := BootstrapGeomeanCI(tight, 300, 0.95, 3)
+	lo2, hi2, _ := BootstrapGeomeanCI(wide, 300, 0.95, 3)
+	if hi1-lo1 >= hi2-lo2 {
+		t.Fatalf("tight data CI (%g) not narrower than wide data CI (%g)",
+			hi1-lo1, hi2-lo2)
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMissRateAndMPKI(t *testing.T) {
+	s := CacheStats{DemandAccesses: 200, DemandMisses: 50}
+	if !almostEqual(s.MissRate(), 0.25) {
+		t.Fatalf("MissRate = %g", s.MissRate())
+	}
+	if !almostEqual(s.MPKI(10000), 5.0) {
+		t.Fatalf("MPKI = %g", s.MPKI(10000))
+	}
+	var zero CacheStats
+	if zero.MissRate() != 0 || zero.MPKI(0) != 0 {
+		t.Fatal("zero stats should not divide by zero")
+	}
+}
+
+func TestAccuracies(t *testing.T) {
+	s := CacheStats{UsefulPrefetches: 30, UselessPrefetches: 10, PGCUseful: 1, PGCUseless: 3}
+	if !almostEqual(s.PrefetchAccuracy(), 0.75) {
+		t.Fatalf("PrefetchAccuracy = %g", s.PrefetchAccuracy())
+	}
+	if !almostEqual(s.PGCAccuracy(), 0.25) {
+		t.Fatalf("PGCAccuracy = %g", s.PGCAccuracy())
+	}
+	var zero CacheStats
+	if zero.PrefetchAccuracy() != 0 || zero.PGCAccuracy() != 0 {
+		t.Fatal("zero accuracies should be 0")
+	}
+}
+
+func TestIPC(t *testing.T) {
+	c := CoreStats{Cycles: 1000, Instructions: 2500}
+	if !almostEqual(c.IPC(), 2.5) {
+		t.Fatalf("IPC = %g", c.IPC())
+	}
+	if (&CoreStats{}).IPC() != 0 {
+		t.Fatal("IPC with zero cycles should be 0")
+	}
+}
+
+func TestRunMPKIDispatch(t *testing.T) {
+	r := Run{}
+	r.Core.Instructions = 1000
+	r.L1D.DemandMisses = 7
+	r.STLB.DemandMisses = 3
+	if !almostEqual(r.MPKI("l1d"), 7) {
+		t.Fatalf("l1d MPKI = %g", r.MPKI("l1d"))
+	}
+	if !almostEqual(r.MPKI("stlb"), 3) {
+		t.Fatalf("stlb MPKI = %g", r.MPKI("stlb"))
+	}
+	if !math.IsNaN(r.MPKI("nope")) {
+		t.Fatal("unknown structure should be NaN")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	base := &Run{}
+	base.L1D.DemandMisses = 100
+	run := &Run{}
+	run.L1D.DemandMisses = 60
+	if !almostEqual(Coverage(run, base), 0.4) {
+		t.Fatalf("Coverage = %g", Coverage(run, base))
+	}
+	empty := &Run{}
+	if Coverage(run, empty) != 0 {
+		t.Fatal("coverage with zero baseline misses should be 0")
+	}
+}
+
+func TestPGCPerKiloInstr(t *testing.T) {
+	r := Run{}
+	r.Core.Instructions = 2000
+	r.L1D.PGCUseful = 4
+	r.L1D.PGCUseless = 6
+	useful, useless := r.PGCPerKiloInstr()
+	if !almostEqual(useful, 2) || !almostEqual(useless, 3) {
+		t.Fatalf("PGC PKI = %g, %g", useful, useless)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Run{Core: CoreStats{Cycles: 100, Instructions: 100}}
+	run := &Run{Core: CoreStats{Cycles: 100, Instructions: 110}}
+	if !almostEqual(Speedup(run, base), 1.1) {
+		t.Fatalf("Speedup = %g", Speedup(run, base))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{1, 4})
+	if err != nil || !almostEqual(g, 2) {
+		t.Fatalf("Geomean = %g, %v", g, err)
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Fatal("empty geomean should error")
+	}
+	if _, err := Geomean([]float64{1, 0}); err == nil {
+		t.Fatal("non-positive geomean should error")
+	}
+}
+
+func TestWeightedGeomean(t *testing.T) {
+	// All weight on the first element.
+	g, err := WeightedGeomean([]float64{2, 8}, []float64{1, 0})
+	if err != nil || !almostEqual(g, 2) {
+		t.Fatalf("WeightedGeomean = %g, %v", g, err)
+	}
+	// Equal weights reduce to plain geomean.
+	g, err = WeightedGeomean([]float64{1, 4}, []float64{0.5, 0.5})
+	if err != nil || !almostEqual(g, 2) {
+		t.Fatalf("WeightedGeomean = %g, %v", g, err)
+	}
+	if _, err := WeightedGeomean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	if _, err := WeightedGeomean([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Fatal("zero total weight should error")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two cores: run keeps 80% and 90% of isolation IPC, baseline 70% and 80%.
+	ws, err := WeightedSpeedup(
+		[]float64{0.8, 0.9}, []float64{1, 1},
+		[]float64{0.7, 0.8}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ws, 1.7/1.5) {
+		t.Fatalf("WeightedSpeedup = %g", ws)
+	}
+	if _, err := WeightedSpeedup(nil, nil, nil, nil); err == nil {
+		t.Fatal("empty weighted speedup should error")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("zero isolation IPC should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if !almostEqual(Percentile(xs, 0), 1) || !almostEqual(Percentile(xs, 100), 4) {
+		t.Fatal("percentile extremes wrong")
+	}
+	if !almostEqual(Percentile(xs, 50), 2.5) {
+		t.Fatalf("median = %g", Percentile(xs, 50))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Percentile must not mutate its argument.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+// Property: geomean lies between min and max, and is scale-equivariant.
+func TestGeomeanProperties(t *testing.T) {
+	between := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := MustGeomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(between, nil); err != nil {
+		t.Error(err)
+	}
+	scale := func(a, b uint16, k uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1}
+		f := float64(k) + 1
+		scaled := []float64{xs[0] * f, xs[1] * f}
+		return math.Abs(MustGeomean(scaled)-f*MustGeomean(xs)) < 1e-6*f
+	}
+	if err := quick.Check(scale, nil); err != nil {
+		t.Error(err)
+	}
+}

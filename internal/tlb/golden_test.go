@@ -1,0 +1,71 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+// goldenTLBSet is a reference LRU set of 4K VPNs.
+type goldenTLBSet struct {
+	vpns []uint64
+	ways int
+}
+
+func (g *goldenTLBSet) lookup(vpn uint64) bool {
+	for i, v := range g.vpns {
+		if v == vpn {
+			copy(g.vpns[1:i+1], g.vpns[:i])
+			g.vpns[0] = vpn
+			return true
+		}
+	}
+	return false
+}
+
+func (g *goldenTLBSet) insert(vpn uint64) {
+	if g.lookup(vpn) {
+		return
+	}
+	g.vpns = append([]uint64{vpn}, g.vpns...)
+	if len(g.vpns) > g.ways {
+		g.vpns = g.vpns[:g.ways]
+	}
+}
+
+// TestTLBMatchesGoldenLRU replays a random lookup/insert stream against the
+// TLB and a reference model, asserting identical hit/miss behaviour
+// (4K pages only, as the golden model is page-size-blind).
+func TestTLBMatchesGoldenLRU(t *testing.T) {
+	const sets, ways = 8, 4
+	tl, err := New(Config{Name: "g", Sets: sets, Ways: ways, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]goldenTLBSet, sets)
+	for i := range golden {
+		golden[i].ways = ways
+	}
+
+	x := uint64(1234)
+	for i := 0; i < 30000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		vpn := (x >> 30) % 96
+		va := mem.VAddr(vpn << mem.PageBits)
+		set := &golden[vpn%sets]
+
+		_, gotHit := tl.Lookup(va, true)
+		wantHit := set.lookup(vpn)
+		if gotHit != wantHit {
+			t.Fatalf("lookup %d (vpn %d): tlb hit=%v, golden hit=%v", i, vpn, gotHit, wantHit)
+		}
+		if !gotHit {
+			tl.Insert(va, vmem.Translation{Base: mem.PAddr(vpn << mem.PageBits), Kind: mem.Page4K}, false)
+			set.insert(vpn)
+		}
+	}
+	if tl.Stats.DemandHits == 0 || tl.Stats.DemandMisses == 0 {
+		t.Fatal("degenerate sequence")
+	}
+}

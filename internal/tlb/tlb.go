@@ -1,0 +1,193 @@
+// Package tlb implements the set-associative translation lookaside buffers
+// of Table IV: the first-level data and instruction TLBs (64-entry, 4-way)
+// and the shared second-level sTLB (1536-entry, 12-way). Entries may hold
+// 4KB or 2MB translations; both sizes coexist in the same arrays, tagged by
+// their page-size kind. TLB fills triggered by page-cross prefetches are
+// tracked separately so the paper's TLB-pollution effects are measurable.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/vmem"
+)
+
+// Config sizes a TLB.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency uint64
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("tlb %s: sets %d must be a positive power of two", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("tlb %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	return nil
+}
+
+// Entries returns the total entry count.
+func (c Config) Entries() int { return c.Sets * c.Ways }
+
+type entry struct {
+	valid    bool
+	kind     mem.PageSizeKind
+	vpn      uint64 // 4K VPN for 4K entries, 2M VPN for 2M entries
+	base     mem.PAddr
+	lru      uint64
+	prefetch bool // filled by a page-cross prefetch walk
+}
+
+// TLB is one translation cache level.
+type TLB struct {
+	cfg   Config
+	sets  [][]entry
+	clock uint64
+	// Stats uses the shared cache-stats vocabulary: demand accesses/misses
+	// give MPKI and miss rate; prefetch fills/useful track pollution.
+	Stats *stats.CacheStats
+}
+
+// New builds a TLB.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]entry, cfg.Sets)
+	backing := make([]entry, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &TLB{cfg: cfg, sets: sets, Stats: &stats.CacheStats{}}, nil
+}
+
+// Config returns the configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+func (t *TLB) set4K(va mem.VAddr) []entry {
+	return t.sets[va.PageID()&uint64(t.cfg.Sets-1)]
+}
+
+func (t *TLB) set2M(va mem.VAddr) []entry {
+	return t.sets[va.LargePageID()&uint64(t.cfg.Sets-1)]
+}
+
+// find locates the matching entry for va, checking both page sizes.
+func (t *TLB) find(va mem.VAddr) *entry {
+	set := t.set4K(va)
+	vpn := va.PageID()
+	for i := range set {
+		if set[i].valid && set[i].kind == mem.Page4K && set[i].vpn == vpn {
+			return &set[i]
+		}
+	}
+	set = t.set2M(va)
+	vpn = va.LargePageID()
+	for i := range set {
+		if set[i].valid && set[i].kind == mem.Page2M && set[i].vpn == vpn {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup probes the TLB. demand selects whether the access is counted in
+// the demand statistics (prefetch translations are counted separately).
+// On a hit the entry's LRU state is refreshed.
+func (t *TLB) Lookup(va mem.VAddr, demand bool) (vmem.Translation, bool) {
+	if demand {
+		t.Stats.DemandAccesses++
+	}
+	if e := t.find(va); e != nil {
+		t.clock++
+		e.lru = t.clock
+		if demand {
+			t.Stats.DemandHits++
+			if e.prefetch {
+				// First demand use of a prefetched translation.
+				t.Stats.UsefulPrefetches++
+				e.prefetch = false
+			}
+		}
+		return vmem.Translation{Base: e.base, Kind: e.kind}, true
+	}
+	if demand {
+		t.Stats.DemandMisses++
+	}
+	return vmem.Translation{}, false
+}
+
+// Probe reports whether a translation is resident without touching LRU or
+// statistics. The Discard-PTW policy uses it to test TLB residency before
+// deciding whether a page-cross prefetch would trigger a walk.
+func (t *TLB) Probe(va mem.VAddr) bool { return t.find(va) != nil }
+
+// Insert fills a translation. fromPrefetch marks fills caused by page-cross
+// prefetch walks so that TLB pollution is attributable.
+func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
+	var set []entry
+	var vpn uint64
+	if tr.Kind == mem.Page2M {
+		set, vpn = t.set2M(va), va.LargePageID()
+	} else {
+		set, vpn = t.set4K(va), va.PageID()
+	}
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].kind == tr.Kind && set[i].vpn == vpn {
+			victim = i // refresh the existing entry in place
+			break
+		}
+	}
+	if victim == -1 {
+		var oldest uint64 = ^uint64(0)
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+			if set[i].lru < oldest {
+				oldest = set[i].lru
+				victim = i
+			}
+		}
+	}
+	e := &set[victim]
+	if e.valid && (e.kind != tr.Kind || e.vpn != vpn) {
+		t.Stats.Evictions++
+		if e.prefetch {
+			t.Stats.UselessPrefetches++
+		}
+	}
+	t.clock++
+	*e = entry{
+		valid:    true,
+		kind:     tr.Kind,
+		vpn:      vpn,
+		base:     tr.Base,
+		lru:      t.clock,
+		prefetch: fromPrefetch,
+	}
+	if fromPrefetch {
+		t.Stats.PrefetchFills++
+	}
+}
+
+// Latency returns the hit latency.
+func (t *TLB) Latency() uint64 { return t.cfg.Latency }
+
+// Flush invalidates every entry (multi-core trace replay).
+func (t *TLB) Flush() {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			t.sets[si][wi].valid = false
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTakenFlagRoundTrip(t *testing.T) {
+	in := []Instr{
+		{PC: 0x400000, Kind: Branch, Addr: 0x400010, Taken: true},
+		{PC: 0x400004, Kind: Branch, Addr: 0x400020, Taken: false},
+		{PC: 0x400008, Kind: Load, Addr: 0x1000},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestGeneratorEmitsConditionalBranches(t *testing.T) {
+	g, err := NewGen(family("qmm", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken, notTaken := 0, 0
+	for _, in := range Record(g, 50000) {
+		if in.Kind != Branch {
+			continue
+		}
+		if in.Taken {
+			taken++
+		} else {
+			notTaken++
+		}
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Fatalf("branch outcomes not mixed: taken=%d notTaken=%d", taken, notTaken)
+	}
+	// Back-edges dominate, so overall taken bias should be high but < 100%.
+	frac := float64(taken) / float64(taken+notTaken)
+	if frac < 0.6 || frac > 0.99 {
+		t.Fatalf("taken fraction %.2f implausible", frac)
+	}
+}
+
+func TestHardBranchFracIncreasesEntropy(t *testing.T) {
+	easy := family("stream", 3) // HardBranchFrac 0
+	hard := easy
+	hard.HardBranchFrac = 0.5
+
+	count := func(cfg GenConfig) (flips int) {
+		g, err := NewGen(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := map[uint64]bool{}
+		for _, in := range Record(g, 40000) {
+			if in.Kind != Branch {
+				continue
+			}
+			if prev, ok := last[in.PC]; ok && prev != in.Taken {
+				flips++
+			}
+			last[in.PC] = in.Taken
+		}
+		return flips
+	}
+	if count(hard) <= count(easy) {
+		t.Fatal("HardBranchFrac did not increase outcome volatility")
+	}
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// rng is a splitmix64 generator: tiny, fast and deterministic.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// nextN returns a value in [0, n).
+func (r *rng) nextN(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// nextFloat returns a value in [0, 1).
+func (r *rng) nextFloat() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// StreamSpec describes one access stream of a synthetic workload.
+type StreamSpec struct {
+	// StrideLines is the line stride per access; 0 selects fully random
+	// lines (pointer-chase behaviour).
+	StrideLines int64
+	// RunLines bounds how many accesses the stream performs before
+	// jumping; 0 means the stream marches monotonically through its
+	// footprint (the page-cross-friendly pattern).
+	RunLines int
+	// JumpRandom selects where the stream goes after a run: a uniformly
+	// random page of the footprint (true, the page-cross-hostile pattern)
+	// or sequentially onward (false).
+	JumpRandom bool
+	// FootprintPages is the virtual footprint of the stream in 4KB pages.
+	FootprintPages uint64
+	// Weight is the relative frequency of the stream.
+	Weight int
+}
+
+// GenConfig parameterises a synthetic workload generator.
+type GenConfig struct {
+	Seed uint64
+	// ComputePerMem is the number of non-memory instructions between
+	// memory accesses (controls IPC headroom and prefetch timeliness).
+	ComputePerMem int
+	// StoreFrac is the fraction of memory operations that are stores.
+	StoreFrac float64
+	// Streams lists the workload's access streams.
+	Streams []StreamSpec
+	// Phases optionally restricts which streams are active per phase;
+	// each entry lists stream indexes. Empty means all streams always.
+	Phases [][]int
+	// PhaseLen is the instruction count per phase (when Phases are used).
+	PhaseLen uint64
+	// CodePages spreads the instruction footprint over this many 4KB code
+	// pages (drives L1I/iTLB pressure). Minimum 1.
+	CodePages int
+	// HardBranchFrac is the fraction of loop iterations carrying a
+	// data-dependent conditional branch with a near-50/50 outcome (hard to
+	// predict); the rest of the conditional branches are heavily biased.
+	HardBranchFrac float64
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	if len(c.Streams) == 0 {
+		return fmt.Errorf("trace: generator needs at least one stream")
+	}
+	for i, s := range c.Streams {
+		if s.FootprintPages == 0 {
+			return fmt.Errorf("trace: stream %d has zero footprint", i)
+		}
+		if s.Weight <= 0 {
+			return fmt.Errorf("trace: stream %d has non-positive weight", i)
+		}
+	}
+	if len(c.Phases) > 0 && c.PhaseLen == 0 {
+		return fmt.Errorf("trace: phases require PhaseLen > 0")
+	}
+	for pi, p := range c.Phases {
+		if len(p) == 0 {
+			return fmt.Errorf("trace: phase %d is empty", pi)
+		}
+		for _, si := range p {
+			if si < 0 || si >= len(c.Streams) {
+				return fmt.Errorf("trace: phase %d references stream %d", pi, si)
+			}
+		}
+	}
+	if c.StoreFrac < 0 || c.StoreFrac > 1 {
+		return fmt.Errorf("trace: StoreFrac %g out of [0,1]", c.StoreFrac)
+	}
+	return nil
+}
+
+// streamState is the runtime cursor of one stream.
+type streamState struct {
+	base    uint64 // virtual base address of the stream's region
+	cur     uint64 // current address
+	runLeft int
+}
+
+// Gen is the synthetic workload generator.
+type Gen struct {
+	cfg     GenConfig
+	r       rng
+	streams []streamState
+	emitted uint64
+
+	// Instruction-side state: a loop body of ComputePerMem ops + 1 memory
+	// op + 1 backward branch, with the body's code page rotating through
+	// CodePages.
+	pcPage  int
+	pending []Instr
+}
+
+// NewGen builds a generator; the configuration must validate.
+func NewGen(cfg GenConfig) (*Gen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CodePages < 1 {
+		cfg.CodePages = 1
+	}
+	g := &Gen{cfg: cfg}
+	g.Reset()
+	return g, nil
+}
+
+// Reset implements Reader.
+func (g *Gen) Reset() {
+	g.r = rng{s: g.cfg.Seed}
+	g.emitted = 0
+	g.pcPage = 0
+	g.pending = g.pending[:0]
+	g.streams = make([]streamState, len(g.cfg.Streams))
+	for i := range g.streams {
+		// Each stream gets its own disjoint virtual region, spaced far
+		// apart so footprints never overlap.
+		base := uint64(0x10_0000_0000) + uint64(i)*0x4_0000_0000
+		g.streams[i] = streamState{base: base, cur: base}
+	}
+}
+
+// activeStreams returns the stream indexes of the current phase.
+func (g *Gen) activeStreams() []int {
+	if len(g.cfg.Phases) == 0 {
+		idx := make([]int, len(g.cfg.Streams))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	phase := int(g.emitted/g.cfg.PhaseLen) % len(g.cfg.Phases)
+	return g.cfg.Phases[phase]
+}
+
+// pickStream selects a stream by weight among active ones.
+func (g *Gen) pickStream() int {
+	active := g.activeStreams()
+	total := 0
+	for _, si := range active {
+		total += g.cfg.Streams[si].Weight
+	}
+	n := int(g.r.nextN(uint64(total)))
+	for _, si := range active {
+		n -= g.cfg.Streams[si].Weight
+		if n < 0 {
+			return si
+		}
+	}
+	return active[len(active)-1]
+}
+
+// Next implements Reader. The generator is endless.
+func (g *Gen) Next() (Instr, bool) {
+	if len(g.pending) == 0 {
+		g.refill()
+	}
+	in := g.pending[0]
+	g.pending = g.pending[1:]
+	g.emitted++
+	return in, true
+}
+
+// refill synthesises one loop iteration: compute ops, the memory access,
+// and the loop branch.
+func (g *Gen) refill() {
+	si := g.pickStream()
+	spec := &g.cfg.Streams[si]
+	st := &g.streams[si]
+
+	// Advance the stream cursor.
+	addr := g.nextAddr(spec, st)
+
+	// Code layout: the iteration's instructions live on one code page;
+	// pages rotate slowly to create instruction-side pressure.
+	if g.r.nextN(64) == 0 {
+		g.pcPage = (g.pcPage + 1) % g.cfg.CodePages
+	}
+	pcBase := uint64(0x40_0000) + uint64(g.pcPage)*mem.PageSize +
+		uint64(si)*256 // distinct PCs per stream within the page
+
+	pc := pcBase
+	for i := 0; i < g.cfg.ComputePerMem; i++ {
+		g.pending = append(g.pending, Instr{PC: pc, Kind: Op})
+		pc += 4
+	}
+	// A conditional branch inside the body: mostly biased (easy for the
+	// perceptron predictor), a configurable fraction near-50/50 (hard).
+	taken := g.r.nextFloat() < 0.9
+	if g.cfg.HardBranchFrac > 0 && g.r.nextFloat() < g.cfg.HardBranchFrac {
+		taken = g.r.nextFloat() < 0.5
+	}
+	g.pending = append(g.pending, Instr{PC: pc, Kind: Branch, Addr: pc + 16, Taken: taken})
+	pc += 4
+	kind := Load
+	if g.r.nextFloat() < g.cfg.StoreFrac {
+		kind = Store
+	}
+	g.pending = append(g.pending, Instr{PC: pc, Kind: kind, Addr: addr})
+	pc += 4
+	// The loop back-edge, always taken.
+	g.pending = append(g.pending, Instr{PC: pc, Kind: Branch, Addr: pcBase, Taken: true})
+}
+
+// nextAddr advances a stream and returns the access address.
+func (g *Gen) nextAddr(spec *StreamSpec, st *streamState) uint64 {
+	footBytes := spec.FootprintPages * mem.PageSize
+
+	if spec.StrideLines == 0 {
+		// Pointer chase: uniformly random line in the footprint.
+		line := g.r.nextN(footBytes / mem.LineSize)
+		st.cur = st.base + line*mem.LineSize
+		return st.cur
+	}
+
+	addr := st.cur
+
+	// Advance.
+	next := int64(st.cur) + spec.StrideLines*mem.LineSize
+	if next < int64(st.base) || uint64(next) >= st.base+footBytes {
+		next = int64(st.base) // wrap the footprint
+	}
+	st.cur = uint64(next)
+
+	if spec.RunLines > 0 {
+		st.runLeft--
+		if st.runLeft <= 0 {
+			st.runLeft = spec.RunLines
+			if spec.JumpRandom {
+				// Hop to a random page: the page-cross-hostile pattern —
+				// any cross-page prediction from the previous run is wrong.
+				page := g.r.nextN(spec.FootprintPages)
+				st.cur = st.base + page*mem.PageSize
+			}
+		}
+	}
+	return addr
+}

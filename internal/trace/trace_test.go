@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := []Instr{
+		{PC: 0x400000, Kind: Op},
+		{PC: 0x400004, Kind: Load, Addr: 0x7fff0000},
+		{PC: 0x400008, Kind: Store, Addr: 0x7fff0040},
+		{PC: 0x40000c, Kind: Branch, Addr: 0x400000},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("not a trace file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge count
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	in := []Instr{{PC: 1}, {PC: 2}}
+	r := NewSliceReader(in)
+	a, ok := r.Next()
+	if !ok || a.PC != 1 {
+		t.Fatal("first Next wrong")
+	}
+	r.Next()
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader did not end")
+	}
+	r.Reset()
+	if a, ok := r.Next(); !ok || a.PC != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	bad := []GenConfig{
+		{},
+		{Streams: []StreamSpec{{FootprintPages: 0, Weight: 1}}},
+		{Streams: []StreamSpec{{FootprintPages: 1, Weight: 0}}},
+		{Streams: []StreamSpec{{FootprintPages: 1, Weight: 1}}, Phases: [][]int{{0}}},
+		{Streams: []StreamSpec{{FootprintPages: 1, Weight: 1}}, Phases: [][]int{{5}}, PhaseLen: 10},
+		{Streams: []StreamSpec{{FootprintPages: 1, Weight: 1}}, StoreFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGen(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	cfg := family("graph", 42)
+	g1, err := NewGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Record(g1, 5000)
+	g1.Reset()
+	b := Record(g1, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instr %d differs after Reset", i)
+		}
+	}
+	// A second generator from the same config produces the same stream.
+	g2, _ := NewGen(cfg)
+	c := Record(g2, 5000)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("instr %d differs across generators", i)
+		}
+	}
+}
+
+func TestGenEmitsAllKinds(t *testing.T) {
+	cfg := family("qmm", 7)
+	g, err := NewGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Kind]int{}
+	for _, in := range Record(g, 20000) {
+		counts[in.Kind]++
+		if in.Kind == Load || in.Kind == Store {
+			if in.Addr == 0 {
+				t.Fatal("memory op with zero address")
+			}
+		}
+	}
+	if counts[Load] == 0 || counts[Branch] == 0 {
+		t.Fatalf("kinds missing: %v", counts)
+	}
+	if counts[Store] == 0 {
+		t.Fatalf("qmm family should emit stores: %v", counts)
+	}
+}
+
+func TestStreamFamilyMarchesAcrossPages(t *testing.T) {
+	g, err := NewGen(family("stream", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[uint64]bool{}
+	for _, in := range Record(g, 50000) {
+		if in.Kind == Load || in.Kind == Store {
+			pages[in.Addr>>mem.PageBits] = true
+		}
+	}
+	if len(pages) < 10 {
+		t.Fatalf("stream family touched only %d pages", len(pages))
+	}
+}
+
+func TestHotFamilyStaysSmall(t *testing.T) {
+	g, err := NewGen(family("hot", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[uint64]bool{}
+	for _, in := range Record(g, 50000) {
+		if in.Kind == Load || in.Kind == Store {
+			pages[in.Addr>>mem.PageBits] = true
+		}
+	}
+	if len(pages) > 40 {
+		t.Fatalf("hot family touched %d pages; should be cache-resident", len(pages))
+	}
+}
+
+func TestWorkloadCountsMatchPaper(t *testing.T) {
+	if n := len(Seen()); n != 218 {
+		t.Fatalf("seen = %d, want 218", n)
+	}
+	if n := len(Unseen()); n != 178 {
+		t.Fatalf("unseen = %d, want 178", n)
+	}
+	if n := len(All()); n != 218+178+len(NonIntensive()) {
+		t.Fatalf("all = %d", n)
+	}
+}
+
+func TestWorkloadNamesUniqueAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Weight < 0.05 || w.Weight > 1 {
+			t.Fatalf("workload %s weight %g out of [0.05,1]", w.Name, w.Weight)
+		}
+		if err := w.Config.Validate(); err != nil {
+			t.Fatalf("workload %s invalid: %v", w.Name, err)
+		}
+	}
+}
+
+func TestSeenUnseenDisjointConfigs(t *testing.T) {
+	// Same families, but different parameter draws: spot-check that the
+	// first seen and unseen stream workloads differ.
+	s := Seen()[0]
+	var u Workload
+	for _, w := range Unseen() {
+		if w.Suite == s.Suite && familyOf(w.Name) == familyOf(s.Name) {
+			u = w
+			break
+		}
+	}
+	if u.Name == "" {
+		t.Fatal("no matching unseen workload")
+	}
+	if s.Config.Seed == u.Config.Seed {
+		t.Fatal("seen and unseen draws share a seed")
+	}
+}
+
+func TestByName(t *testing.T) {
+	w := Seen()[17]
+	got, ok := ByName(w.Name)
+	if !ok || got.Name != w.Name {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("no.such_99"); ok {
+		t.Fatal("ByName invented a workload")
+	}
+}
+
+func TestSuites(t *testing.T) {
+	suites := Suites(Seen())
+	if len(suites) != 7 {
+		t.Fatalf("suites = %v", suites)
+	}
+}
+
+func TestMotivationSetDiverse(t *testing.T) {
+	ms := MotivationSet()
+	if len(ms) < 10 || len(ms) > 40 {
+		t.Fatalf("motivation set size %d", len(ms))
+	}
+	fams := map[string]bool{}
+	for _, w := range ms {
+		fams[familyOf(w.Name)] = true
+	}
+	if !fams["stream"] || !fams["pagehop"] {
+		t.Fatal("motivation set must include friendly and hostile families")
+	}
+}
+
+func TestMixesDeterministic(t *testing.T) {
+	a := Mixes(10, 8)
+	b := Mixes(10, 8)
+	if len(a) != 10 || len(a[0]) != 8 {
+		t.Fatalf("shape: %d x %d", len(a), len(a[0]))
+	}
+	for i := range a {
+		for c := range a[i] {
+			if a[i][c].Name != b[i][c].Name {
+				t.Fatal("mixes are not deterministic")
+			}
+		}
+	}
+}
+
+func TestWorkloadReaders(t *testing.T) {
+	for _, w := range []Workload{Seen()[0], Unseen()[0], NonIntensive()[0]} {
+		r, err := w.NewReader()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("%s: empty reader", w.Name)
+		}
+	}
+}

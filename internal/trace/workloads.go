@@ -1,0 +1,359 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workload is one named benchmark of the evaluation set.
+type Workload struct {
+	Name  string
+	Suite string
+	// Seen marks workloads used during DRIPPER's design (§IV-A); the
+	// complement is the unseen set of §V-B8.
+	Seen bool
+	// MemoryIntensive mirrors the paper's LLC MPKI >= 1 selection.
+	MemoryIntensive bool
+	// Weight is the SimPoint-style weight used in weighted geomeans.
+	Weight float64
+	// Config generates the workload's instruction stream.
+	Config GenConfig
+}
+
+// NewReader returns a fresh deterministic reader for the workload.
+func (w Workload) NewReader() (Reader, error) { return NewGen(w.Config) }
+
+// hashName turns a workload name into a stable seed.
+func hashName(name string, salt uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h ^ salt*0x9E3779B97F4A7C15
+}
+
+// family builds a GenConfig for the named pattern family, drawing
+// parameters deterministically from the workload's seed.
+func family(kind string, seed uint64) GenConfig {
+	r := rng{s: seed}
+	cfg := GenConfig{Seed: r.next()}
+	pick := func(lo, hi uint64) uint64 { return lo + r.nextN(hi-lo+1) }
+
+	switch kind {
+	case "stream":
+		// Monotonic multi-stream walks: the page-cross-friendly pattern
+		// (astar, cc.road, vips in Fig. 2).
+		n := int(pick(1, 3))
+		cfg.ComputePerMem = int(pick(2, 6))
+		cfg.StoreFrac = 0.1 * r.nextFloat()
+		for i := 0; i < n; i++ {
+			cfg.Streams = append(cfg.Streams, StreamSpec{
+				StrideLines:    int64(pick(1, 4)),
+				FootprintPages: pick(2048, 16384),
+				Weight:         int(pick(1, 3)),
+			})
+		}
+		cfg.CodePages = int(pick(1, 3))
+	case "pagehop":
+		// Page-bounded runs with random page hops: the page-cross-hostile
+		// pattern (sphinx3, bc.web in Fig. 2) — cross-page predictions
+		// learned from the in-page run are wrong at every boundary.
+		n := int(pick(1, 2))
+		cfg.ComputePerMem = int(pick(2, 5))
+		cfg.StoreFrac = 0.15 * r.nextFloat()
+		for i := 0; i < n; i++ {
+			stride := int64(pick(1, 2))
+			cfg.Streams = append(cfg.Streams, StreamSpec{
+				StrideLines:    stride,
+				RunLines:       int(64 / stride), // exactly one page per run
+				JumpRandom:     true,
+				FootprintPages: pick(4096, 32768),
+				Weight:         int(pick(1, 3)),
+			})
+		}
+		cfg.CodePages = int(pick(1, 4))
+	case "chase":
+		// Pointer chasing over a large footprint: TLB-hostile, nothing to
+		// prefetch across pages.
+		cfg.ComputePerMem = int(pick(1, 4))
+		cfg.HardBranchFrac = 0.15
+		cfg.Streams = []StreamSpec{{
+			StrideLines:    0,
+			FootprintPages: pick(8192, 65536),
+			Weight:         1,
+		}}
+		cfg.CodePages = int(pick(1, 2))
+	case "graph":
+
+		// GAP/Ligra-style: a monotonic index stream plus neighbour-list
+		// bursts that hop pages. Road-like graphs (long runs) reward
+		// page-cross prefetching; web-like graphs (short runs) punish it.
+		runs := int(pick(6, 48))
+		cfg.ComputePerMem = int(pick(1, 3))
+		cfg.HardBranchFrac = 0.05
+		cfg.StoreFrac = 0.05 * r.nextFloat()
+		cfg.Streams = []StreamSpec{
+			{StrideLines: 1, FootprintPages: pick(4096, 16384), Weight: 1},
+			{StrideLines: 1, RunLines: runs, JumpRandom: true,
+				FootprintPages: pick(16384, 131072), Weight: int(pick(2, 4))},
+		}
+		cfg.CodePages = int(pick(1, 2))
+	case "parsec":
+		// Parallel-kernel streaming over several buffers.
+		n := int(pick(2, 4))
+		cfg.ComputePerMem = int(pick(2, 5))
+		cfg.StoreFrac = 0.2 * r.nextFloat()
+		for i := 0; i < n; i++ {
+			cfg.Streams = append(cfg.Streams, StreamSpec{
+				StrideLines:    int64(pick(1, 2)),
+				FootprintPages: pick(2048, 8192),
+				Weight:         1,
+			})
+		}
+		cfg.CodePages = int(pick(1, 3))
+	case "phased":
+		// Geekbench-style phase alternation between friendly and hostile
+		// patterns: the case for an adaptive threshold.
+		cfg.ComputePerMem = int(pick(1, 4))
+		cfg.StoreFrac = 0.1 * r.nextFloat()
+		cfg.Streams = []StreamSpec{
+			{StrideLines: int64(pick(1, 3)), FootprintPages: pick(2048, 8192), Weight: 1},
+			{StrideLines: 1, RunLines: 64, JumpRandom: true,
+				FootprintPages: pick(8192, 32768), Weight: 1},
+			{StrideLines: 0, FootprintPages: pick(4096, 16384), Weight: 1},
+		}
+		cfg.HardBranchFrac = 0.10
+		cfg.Phases = [][]int{{0}, {1}, {0, 1}, {2}}
+		cfg.PhaseLen = pick(20000, 60000)
+		cfg.CodePages = int(pick(2, 6))
+	case "qmm":
+		// Qualcomm CVP-1-style short industrial phases: mixed, store-heavy,
+		// low compute padding.
+		n := int(pick(2, 4))
+		cfg.ComputePerMem = int(pick(0, 2))
+		cfg.HardBranchFrac = 0.20
+		cfg.StoreFrac = 0.1 + 0.2*r.nextFloat()
+		for i := 0; i < n; i++ {
+			spec := StreamSpec{
+				StrideLines:    int64(pick(1, 8)),
+				FootprintPages: pick(1024, 8192),
+				Weight:         int(pick(1, 3)),
+			}
+			if r.nextFloat() < 0.4 {
+				spec.RunLines = int(pick(8, 64))
+				spec.JumpRandom = true
+			}
+			cfg.Streams = append(cfg.Streams, spec)
+		}
+		cfg.Phases = [][]int{}
+		cfg.CodePages = int(pick(1, 4))
+	case "hot":
+		// Non-intensive: cache-resident footprint.
+		cfg.ComputePerMem = int(pick(3, 8))
+		cfg.Streams = []StreamSpec{{
+			StrideLines:    int64(pick(1, 2)),
+			FootprintPages: pick(4, 32),
+			Weight:         1,
+		}}
+		cfg.CodePages = 1
+	default:
+		panic(fmt.Sprintf("trace: unknown family %q", kind))
+	}
+	return cfg
+}
+
+// suitePlan describes how many workloads of each family a suite gets.
+type suitePlan struct {
+	suite    string
+	families []struct {
+		kind string
+		n    int
+	}
+}
+
+func plans(seen bool) []suitePlan {
+	mk := func(suite string, fams ...struct {
+		kind string
+		n    int
+	}) suitePlan {
+		return suitePlan{suite: suite, families: fams}
+	}
+	f := func(kind string, n int) struct {
+		kind string
+		n    int
+	} {
+		return struct {
+			kind string
+			n    int
+		}{kind, n}
+	}
+	if seen {
+		// 60+30+24+20+28+28+28 = 218 seen workloads.
+		return []suitePlan{
+			mk("spec", f("stream", 20), f("pagehop", 20), f("chase", 8), f("phased", 12)),
+			mk("gap", f("graph", 30)),
+			mk("ligra", f("graph", 24)),
+			mk("parsec", f("parsec", 20)),
+			mk("gkb5", f("phased", 28)),
+			mk("qmm_int", f("qmm", 28)),
+			mk("qmm_fp", f("qmm", 28)),
+		}
+	}
+	// 48+24+20+14+24+24+24 = 178 unseen workloads.
+	return []suitePlan{
+		mk("spec", f("stream", 16), f("pagehop", 16), f("chase", 8), f("phased", 8)),
+		mk("gap", f("graph", 24)),
+		mk("ligra", f("graph", 20)),
+		mk("parsec", f("parsec", 14)),
+		mk("gkb5", f("phased", 24)),
+		mk("qmm_int", f("qmm", 24)),
+		mk("qmm_fp", f("qmm", 24)),
+	}
+}
+
+func buildSet(seen bool) []Workload {
+	salt := uint64(1)
+	if !seen {
+		salt = 2
+	}
+	var out []Workload
+	for _, p := range plans(seen) {
+		for _, fam := range p.families {
+			for i := 0; i < fam.n; i++ {
+				tag := "s"
+				if !seen {
+					tag = "u"
+				}
+				name := fmt.Sprintf("%s.%s_%s%02d", p.suite, fam.kind, tag, i)
+				seed := hashName(name, salt)
+				wr := rng{s: seed ^ 0xABCD}
+				out = append(out, Workload{
+					Name:            name,
+					Suite:           p.suite,
+					Seen:            seen,
+					MemoryIntensive: true,
+					Weight:          0.05 + 0.95*wr.nextFloat(),
+					Config:          family(fam.kind, seed),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func buildNonIntensive() []Workload {
+	var out []Workload
+	suites := []string{"spec", "gap", "ligra", "parsec", "gkb5", "qmm_int", "qmm_fp"}
+	for _, s := range suites {
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("%s.hot_%02d", s, i)
+			seed := hashName(name, 3)
+			wr := rng{s: seed ^ 0xABCD}
+			out = append(out, Workload{
+				Name:            name,
+				Suite:           s,
+				Seen:            false,
+				MemoryIntensive: false,
+				Weight:          0.05 + 0.95*wr.nextFloat(),
+				Config:          family("hot", seed),
+			})
+		}
+	}
+	return out
+}
+
+var (
+	seenSet         = buildSet(true)
+	unseenSet       = buildSet(false)
+	nonIntensiveSet = buildNonIntensive()
+)
+
+// Seen returns the 218 workloads used during DRIPPER's design.
+func Seen() []Workload { return append([]Workload(nil), seenSet...) }
+
+// Unseen returns the 178 workloads not used during design (§V-B8).
+func Unseen() []Workload { return append([]Workload(nil), unseenSet...) }
+
+// NonIntensive returns the non-memory-intensive workloads (§V-B9).
+func NonIntensive() []Workload { return append([]Workload(nil), nonIntensiveSet...) }
+
+// All returns seen + unseen + non-intensive.
+func All() []Workload {
+	out := Seen()
+	out = append(out, Unseen()...)
+	out = append(out, NonIntensive()...)
+	return out
+}
+
+// ByName finds a workload in any set.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Suites lists the distinct suite names in a set, sorted.
+func Suites(ws []Workload) []string {
+	set := map[string]bool{}
+	for _, w := range ws {
+		set[w.Suite] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MotivationSet returns a small diverse subset of the seen workloads for
+// the §II-C motivation figures (Fig. 2-4): a handful per suite, covering
+// both page-cross-friendly and -hostile families.
+func MotivationSet() []Workload {
+	perFamily := map[string]int{}
+	var out []Workload
+	for _, w := range seenSet {
+		key := w.Suite + "/" + familyOf(w.Name)
+		if perFamily[key] < 2 {
+			perFamily[key]++
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// familyOf extracts the family token from a workload name.
+func familyOf(name string) string {
+	start := 0
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			start = i + 1
+			break
+		}
+	}
+	for i := start; i < len(name); i++ {
+		if name[i] == '_' {
+			return name[start:i]
+		}
+	}
+	return name[start:]
+}
+
+// Mixes returns n deterministic 8-workload mixes drawn from the seen set
+// (the paper's 300 random 8-core mixes, §IV-A2).
+func Mixes(n, coresPerMix int) [][]Workload {
+	r := rng{s: 0xC0FFEE}
+	out := make([][]Workload, n)
+	for i := range out {
+		mix := make([]Workload, coresPerMix)
+		for c := range mix {
+			mix[c] = seenSet[r.nextN(uint64(len(seenSet)))]
+		}
+		out[i] = mix
+	}
+	return out
+}

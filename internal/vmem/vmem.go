@@ -1,0 +1,293 @@
+// Package vmem models a per-process virtual address space backed by a
+// 5-level x86-style radix page table laid out in simulated physical memory.
+//
+// The simulator is trace-driven, so pages are mapped on first touch. The
+// physical frame allocator deliberately scatters frames across physical
+// memory (a bijective scramble over the frame space) so that addresses that
+// are contiguous in the virtual address space are far apart physically —
+// the property that motivates virtual-address (L1D) prefetching in the
+// paper (§II-A1). When large pages are enabled, a configurable fraction of
+// 2MB-aligned virtual regions is backed by 2MB frames, reproducing the
+// mixed 4KB/2MB methodology of §V-B6.
+package vmem
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Levels of the radix page table, root first. A 4KB translation consumes an
+// entry at every level; a 2MB translation stops at the PD level.
+const (
+	LevelPML5 = iota // bits 56:48
+	LevelPML4        // bits 47:39
+	LevelPDPT        // bits 38:30
+	LevelPD          // bits 29:21
+	LevelPT          // bits 20:12
+	NumLevels
+)
+
+// LevelName returns the conventional x86 name of a walk level.
+func LevelName(l int) string {
+	switch l {
+	case LevelPML5:
+		return "PML5"
+	case LevelPML4:
+		return "PML4"
+	case LevelPDPT:
+		return "PDPT"
+	case LevelPD:
+		return "PD"
+	case LevelPT:
+		return "PT"
+	}
+	return fmt.Sprintf("L?%d", l)
+}
+
+const (
+	indexBits    = 9
+	entriesPerPT = 1 << indexBits
+	entryBytes   = 8
+)
+
+// levelIndex extracts the radix index of va at the given level.
+func levelIndex(va mem.VAddr, level int) uint64 {
+	shift := mem.PageBits + indexBits*(NumLevels-1-level)
+	return (uint64(va) >> shift) & (entriesPerPT - 1)
+}
+
+// Translation is the result of resolving a virtual address.
+type Translation struct {
+	// Base is the physical base address of the page (4KB- or 2MB-aligned).
+	Base mem.PAddr
+	// Kind is the page size backing the translation.
+	Kind mem.PageSizeKind
+}
+
+// PA applies the translation to a full virtual address.
+func (t Translation) PA(va mem.VAddr) mem.PAddr {
+	return mem.Translate(va, t.Base, t.Kind)
+}
+
+// WalkStep is one page-table read performed by the hardware walker: the
+// physical address of the entry and the level it belongs to.
+type WalkStep struct {
+	Level int
+	PA    mem.PAddr
+}
+
+// Config parameterises an address space.
+type Config struct {
+	// MemBytes is the size of simulated physical memory; it must be a
+	// power-of-two multiple of 4KB. Default 4 GB.
+	MemBytes uint64
+	// LargePages enables 2MB mappings.
+	LargePages bool
+	// LargePageFraction is the probability that a 2MB-aligned virtual
+	// region is backed by a 2MB frame when LargePages is on. Default 0.5.
+	LargePageFraction float64
+	// Seed makes frame scattering and large-page placement deterministic.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.MemBytes == 0 {
+		c.MemBytes = 4 << 30
+	}
+	if c.MemBytes%mem.PageSize != 0 || c.MemBytes&(c.MemBytes-1) != 0 {
+		return fmt.Errorf("vmem: MemBytes %d must be a power of two multiple of 4KB", c.MemBytes)
+	}
+	if c.LargePageFraction == 0 {
+		c.LargePageFraction = 0.5
+	}
+	if c.LargePageFraction < 0 || c.LargePageFraction > 1 {
+		return fmt.Errorf("vmem: LargePageFraction %g out of [0,1]", c.LargePageFraction)
+	}
+	return nil
+}
+
+// table is one page-table page: its backing frame plus child pointers and
+// leaf mappings.
+type table struct {
+	framePA  mem.PAddr
+	children map[uint64]*table
+	// leaves maps index → physical base for the terminal level (PT for 4KB
+	// mappings, PD for 2MB mappings).
+	leaves map[uint64]mem.PAddr
+}
+
+// AddressSpace is one process's page table plus its frame allocator.
+type AddressSpace struct {
+	cfg  Config
+	root *table
+
+	numFrames   uint64 // total 4KB frames in physical memory
+	frameMul    uint64 // odd multiplier for the frame-scatter bijection
+	next4K      uint64 // next 4KB allocation index (low half of memory)
+	next2M      uint64 // next 2MB allocation index (high half of memory)
+	frames2M    uint64 // number of 2MB slots in the high half
+	ptPages     uint64 // page-table pages allocated
+	mapped4K    uint64
+	mapped2M    uint64
+	outOfMemory bool
+}
+
+// New creates an address space.
+func New(cfg Config) (*AddressSpace, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	as := &AddressSpace{
+		cfg:       cfg,
+		numFrames: cfg.MemBytes / mem.PageSize,
+	}
+	// Any odd multiplier is a bijection modulo a power of two. Derive one
+	// from the seed so different address spaces scatter differently.
+	as.frameMul = (cfg.Seed*2 + 1) * 0x9E3779B1
+	as.frameMul |= 1
+	// The high quarter of physical memory is reserved for 2MB frames so
+	// large-page allocation never collides with scattered 4KB frames.
+	as.frames2M = as.numFrames / 4 * mem.PageSize / mem.LargePageSize
+	as.root = as.newTable()
+	return as, nil
+}
+
+// newTable allocates a page-table page in simulated physical memory.
+func (as *AddressSpace) newTable() *table {
+	as.ptPages++
+	return &table{
+		framePA:  as.alloc4K(),
+		children: make(map[uint64]*table),
+		leaves:   make(map[uint64]mem.PAddr),
+	}
+}
+
+// alloc4K returns the physical base of a fresh scattered 4KB frame from the
+// low three quarters of memory.
+func (as *AddressSpace) alloc4K() mem.PAddr {
+	space := as.numFrames - as.frames2M*(mem.LargePageSize/mem.PageSize)
+	if as.next4K >= space {
+		// Out of physical memory: wrap. Real systems would swap; the
+		// simulator records the condition and reuses frames, which only
+		// affects fidelity for footprints beyond physical memory.
+		as.outOfMemory = true
+		as.next4K = 0
+	}
+	idx := (as.next4K * as.frameMul) % space
+	as.next4K++
+	return mem.PAddr(idx * mem.PageSize)
+}
+
+// alloc2M returns the physical base of a fresh 2MB frame from the reserved
+// high region.
+func (as *AddressSpace) alloc2M() mem.PAddr {
+	if as.frames2M == 0 || as.next2M >= as.frames2M {
+		as.outOfMemory = true
+		as.next2M = 0
+	}
+	idx := (as.next2M * (as.frameMul | 1)) % as.frames2M
+	as.next2M++
+	base := as.cfg.MemBytes - as.frames2M*mem.LargePageSize
+	return mem.PAddr(base + idx*mem.LargePageSize)
+}
+
+// wantsLargePage decides deterministically whether the 2MB region holding
+// va should be backed by a large page.
+func (as *AddressSpace) wantsLargePage(va mem.VAddr) bool {
+	if !as.cfg.LargePages {
+		return false
+	}
+	h := va.LargePageID() * 0x9E3779B97F4A7C15
+	h ^= as.cfg.Seed * 0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	// Map the hash to [0,1) and compare with the configured fraction.
+	return float64(h>>11)/float64(1<<53) < as.cfg.LargePageFraction
+}
+
+// Translate resolves va, mapping the page on first touch (trace-driven
+// simulation has no demand-paging faults to model beyond the walk itself).
+func (as *AddressSpace) Translate(va mem.VAddr) Translation {
+	t, _ := as.translate(va)
+	return t
+}
+
+// translate returns the translation and whether the mapping already existed.
+func (as *AddressSpace) translate(va mem.VAddr) (Translation, bool) {
+	large := as.wantsLargePage(va)
+	node := as.root
+	depth := NumLevels
+	if large {
+		depth = LevelPD + 1
+	}
+	for level := 0; level < depth-1; level++ {
+		idx := levelIndex(va, level)
+		child, ok := node.children[idx]
+		if !ok {
+			child = as.newTable()
+			node.children[idx] = child
+		}
+		node = child
+	}
+	idx := levelIndex(va, depth-1)
+	base, existed := node.leaves[idx]
+	if !existed {
+		if large {
+			base = as.alloc2M()
+			as.mapped2M++
+		} else {
+			base = as.alloc4K()
+			as.mapped4K++
+		}
+		node.leaves[idx] = base
+	}
+	kind := mem.Page4K
+	if large {
+		kind = mem.Page2M
+	}
+	return Translation{Base: base, Kind: kind}, existed
+}
+
+// Walk returns the sequence of page-table entry reads a hardware walker
+// would perform to translate va, root first, along with the resulting
+// translation. Mapping happens on first touch, so Walk always succeeds.
+func (as *AddressSpace) Walk(va mem.VAddr) ([]WalkStep, Translation) {
+	tr, _ := as.translate(va) // ensure the path exists
+	depth := NumLevels
+	if tr.Kind == mem.Page2M {
+		depth = LevelPD + 1
+	}
+	steps := make([]WalkStep, 0, depth)
+	node := as.root
+	for level := 0; level < depth; level++ {
+		idx := levelIndex(va, level)
+		steps = append(steps, WalkStep{
+			Level: level,
+			PA:    node.framePA + mem.PAddr(idx*entryBytes),
+		})
+		if level < depth-1 {
+			node = node.children[idx]
+		}
+	}
+	return steps, tr
+}
+
+// Stats reports allocation state.
+type Stats struct {
+	PageTablePages uint64
+	Mapped4K       uint64
+	Mapped2M       uint64
+	OutOfMemory    bool
+}
+
+// Stats returns allocator statistics.
+func (as *AddressSpace) Stats() Stats {
+	return Stats{
+		PageTablePages: as.ptPages,
+		Mapped4K:       as.mapped4K,
+		Mapped2M:       as.mapped2M,
+		OutOfMemory:    as.outOfMemory,
+	}
+}

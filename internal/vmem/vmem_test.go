@@ -1,0 +1,217 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newAS(t *testing.T, cfg Config) *AddressSpace {
+	t.Helper()
+	as, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MemBytes: 12345}); err == nil {
+		t.Fatal("non-power-of-two memory accepted")
+	}
+	if _, err := New(Config{LargePageFraction: 2}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestTranslateStable(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30})
+	va := mem.VAddr(0x5555_1234_5000)
+	tr1 := as.Translate(va)
+	tr2 := as.Translate(va + 0x10) // same page
+	if tr1 != tr2 {
+		t.Fatalf("same page translated differently: %+v vs %+v", tr1, tr2)
+	}
+	if tr1.Kind != mem.Page4K {
+		t.Fatal("large pages disabled but got 2M translation")
+	}
+	if tr1.PA(va+0x10).PageOffset() != (va + 0x10).PageOffset() {
+		t.Fatal("translation does not preserve page offset")
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30})
+	seen := make(map[mem.PAddr]mem.VAddr)
+	for i := 0; i < 10000; i++ {
+		va := mem.VAddr(0x1000_0000 + i*mem.PageSize)
+		tr := as.Translate(va)
+		if prev, dup := seen[tr.Base]; dup {
+			t.Fatalf("frame %#x assigned to both %#x and %#x", uint64(tr.Base), uint64(prev), uint64(va))
+		}
+		seen[tr.Base] = va
+	}
+}
+
+func TestPhysicalDiscontiguity(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30})
+	// Contiguous virtual pages should rarely get contiguous frames.
+	contiguous := 0
+	var prev mem.PAddr
+	for i := 0; i < 1000; i++ {
+		tr := as.Translate(mem.VAddr(0x7000_0000 + i*mem.PageSize))
+		if i > 0 && tr.Base == prev+mem.PageSize {
+			contiguous++
+		}
+		prev = tr.Base
+	}
+	if contiguous > 50 {
+		t.Fatalf("%d/1000 virtually-contiguous pages are physically contiguous; allocator is not scattering", contiguous)
+	}
+}
+
+func TestWalkShape4K(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30})
+	steps, tr := as.Walk(mem.VAddr(0x1234_5678_9abc))
+	if len(steps) != NumLevels {
+		t.Fatalf("4K walk has %d steps, want %d", len(steps), NumLevels)
+	}
+	for i, s := range steps {
+		if s.Level != i {
+			t.Fatalf("step %d has level %d", i, s.Level)
+		}
+		if s.PA%entryBytes != 0 {
+			t.Fatalf("entry PA %#x not 8-byte aligned", uint64(s.PA))
+		}
+	}
+	if tr.Kind != mem.Page4K {
+		t.Fatal("expected 4K translation")
+	}
+	// Walking again returns identical entry addresses (table reuse).
+	steps2, _ := as.Walk(mem.VAddr(0x1234_5678_9abc))
+	for i := range steps {
+		if steps[i] != steps2[i] {
+			t.Fatal("walk path changed between identical walks")
+		}
+	}
+}
+
+func TestWalkSharesUpperLevels(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30})
+	a, _ := as.Walk(mem.VAddr(0x4000_0000_0000))
+	b, _ := as.Walk(mem.VAddr(0x4000_0000_0000 + mem.PageSize))
+	// Adjacent pages share all levels except possibly the PT entry offset.
+	for l := 0; l < LevelPT; l++ {
+		if a[l].PA.Page() != b[l].PA.Page() {
+			t.Fatalf("level %s table differs for adjacent pages", LevelName(l))
+		}
+	}
+	if a[LevelPT].PA == b[LevelPT].PA {
+		t.Fatal("distinct pages resolved through the same PTE")
+	}
+}
+
+func TestLargePages(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30, LargePages: true, LargePageFraction: 1.0, Seed: 7})
+	va := mem.VAddr(0x5555_5555_0000)
+	tr := as.Translate(va)
+	if tr.Kind != mem.Page2M {
+		t.Fatal("fraction 1.0 should give 2M pages")
+	}
+	if uint64(tr.Base)%mem.LargePageSize != 0 {
+		t.Fatalf("2M frame %#x not 2M-aligned", uint64(tr.Base))
+	}
+	steps, _ := as.Walk(va)
+	if len(steps) != LevelPD+1 {
+		t.Fatalf("2M walk has %d steps, want %d", len(steps), LevelPD+1)
+	}
+	// Two 4KB pages in the same 2MB region share a translation base.
+	tr2 := as.Translate(va + 5*mem.PageSize)
+	if tr2.Base != tr.Base || tr2.Kind != mem.Page2M {
+		t.Fatal("pages within one 2M region should share the large-page mapping")
+	}
+	va2 := va + 5*mem.PageSize + 7
+	if uint64(tr.PA(va2)-tr.Base) != uint64(va2)&(mem.LargePageSize-1) {
+		t.Fatal("2M translation does not preserve the 21-bit offset")
+	}
+}
+
+func TestLargePageFractionMixes(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30, LargePages: true, LargePageFraction: 0.5, Seed: 3})
+	n2m := 0
+	const regions = 400
+	for i := 0; i < regions; i++ {
+		tr := as.Translate(mem.VAddr(0x1000_0000_0000 + uint64(i)*mem.LargePageSize))
+		if tr.Kind == mem.Page2M {
+			n2m++
+		}
+	}
+	if n2m < regions/4 || n2m > regions*3/4 {
+		t.Fatalf("%d/%d regions are 2M with fraction 0.5; hash is biased", n2m, regions)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30})
+	before := as.Stats()
+	as.Translate(0x1000)
+	as.Translate(0x1000) // same page: no new mapping
+	as.Translate(0x1000 + mem.PageSize)
+	st := as.Stats()
+	if st.Mapped4K != before.Mapped4K+2 {
+		t.Fatalf("Mapped4K = %d, want %d", st.Mapped4K, before.Mapped4K+2)
+	}
+	if st.PageTablePages <= before.PageTablePages {
+		t.Fatal("page-table pages should have been allocated")
+	}
+	if st.OutOfMemory {
+		t.Fatal("spurious out-of-memory")
+	}
+}
+
+func TestOutOfMemoryWraps(t *testing.T) {
+	// Tiny memory: 2MB = 512 frames, 3/4 usable for 4K.
+	as := newAS(t, Config{MemBytes: 2 << 20})
+	for i := 0; i < 1000; i++ {
+		as.Translate(mem.VAddr(uint64(i) * mem.PageSize))
+	}
+	if !as.Stats().OutOfMemory {
+		t.Fatal("expected out-of-memory wrap on tiny memory")
+	}
+}
+
+// Property: translation is a function (same VA → same PA) and preserves
+// the in-page offset, for random addresses.
+func TestTranslateProperties(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30, LargePages: true, LargePageFraction: 0.3, Seed: 11})
+	prop := func(x uint64) bool {
+		va := mem.VAddr(x % (1 << 47))
+		tr1 := as.Translate(va)
+		tr2 := as.Translate(va)
+		return tr1 == tr2 && tr1.PA(va).PageOffset() == va.PageOffset()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelIndexDecomposition(t *testing.T) {
+	// Reassembling the level indexes and the page offset must reproduce the
+	// original 57-bit address.
+	prop := func(x uint64) bool {
+		va := mem.VAddr(x & ((1 << mem.VABits) - 1))
+		rebuilt := va.PageOffset()
+		for level := 0; level < NumLevels; level++ {
+			shift := mem.PageBits + indexBits*(NumLevels-1-level)
+			rebuilt |= levelIndex(va, level) << shift
+		}
+		return rebuilt == uint64(va)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package pagecross is a from-scratch reproduction of "To Cross, or Not to
+// Cross Pages for Prefetching?" (HPCA 2025): the MOKA framework for
+// building Page-Cross Filters, the DRIPPER filter prototype, the three L1D
+// prefetchers the paper evaluates (Berti, IPCP, BOP), and the trace-driven
+// out-of-order simulator (caches, TLBs, page-table walker, DRAM) the
+// evaluation runs on.
+//
+// # Quick start
+//
+//	cfg := pagecross.DefaultConfig()
+//	cfg.L1DPrefetcher = "berti"
+//	cfg.Policy = pagecross.PolicyDripper
+//	w, _ := pagecross.WorkloadByName("gap.graph_s00")
+//	run, err := pagecross.Run(cfg, w)
+//	fmt.Println(run.IPC())
+//
+// # Layers
+//
+//   - The simulator: Config/Run/RunMix simulate single- and multi-core
+//     systems over synthetic workloads (SeenWorkloads, UnseenWorkloads).
+//   - The paper's mechanism: FilterConfig/NewFilter build MOKA filters from
+//     program and system features; DripperConfig returns the Table II
+//     prototypes; SelectFeatures reruns the offline selection of §III-D3.
+//   - The evaluation: the experiments subcommands of cmd/experiments and
+//     the benchmarks in bench_test.go regenerate every table and figure.
+package pagecross
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config describes a simulated system (core, caches, TLBs, DRAM,
+// prefetchers and page-cross policy).
+type Config = sim.Config
+
+// MultiConfig describes a multi-core system sharing LLC and DRAM.
+type MultiConfig = sim.MultiConfig
+
+// PolicyKind names a page-cross prefetching policy.
+type PolicyKind = sim.PolicyKind
+
+// The policies of §V-A.
+const (
+	PolicyPermit     = sim.PolicyPermit
+	PolicyDiscard    = sim.PolicyDiscard
+	PolicyDiscardPTW = sim.PolicyDiscardPTW
+	PolicyDripper    = sim.PolicyDripper
+	PolicyPPF        = sim.PolicyPPF
+	PolicyPPFDthr    = sim.PolicyPPFDthr
+	PolicyDripperSF  = sim.PolicyDripperSF
+)
+
+// Result aggregates one run's statistics (IPC, MPKIs, prefetch usefulness,
+// page-walk counts).
+type Result = stats.Run
+
+// Workload is one named benchmark of the evaluation set.
+type Workload = trace.Workload
+
+// FilterConfig assembles a Page-Cross Filter from MOKA's feature bouquet.
+type FilterConfig = core.Config
+
+// Filter is an instantiated Page-Cross Filter.
+type Filter = core.Filter
+
+// FilterInput is the program context of one page-cross decision.
+type FilterInput = core.Input
+
+// SystemState is the per-epoch snapshot consumed by system features and the
+// adaptive thresholding scheme.
+type SystemState = core.SystemState
+
+// DefaultConfig returns the paper's Table IV single-core system with Berti
+// at the L1D and the Discard-PGC policy.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// DefaultMultiConfig returns the Table IV 8-core system.
+func DefaultMultiConfig() MultiConfig { return sim.DefaultMultiConfig() }
+
+// Run simulates one workload on a fresh system built from cfg: warmup for
+// cfg.WarmupInstrs, then measure cfg.SimInstrs instructions.
+func Run(cfg Config, w Workload) (*Result, error) { return sim.RunWorkload(cfg, w) }
+
+// RunMix simulates a multi-programmed mix (workload i on core i) and
+// returns one Result per core.
+func RunMix(cfg MultiConfig, mix []Workload) ([]*Result, error) {
+	ms, err := sim.NewMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ms.RunMix(mix)
+}
+
+// SeenWorkloads returns the 218 workloads used during DRIPPER's design.
+func SeenWorkloads() []Workload { return trace.Seen() }
+
+// UnseenWorkloads returns the 178 held-out workloads of §V-B8.
+func UnseenWorkloads() []Workload { return trace.Unseen() }
+
+// NonIntensiveWorkloads returns the non-memory-intensive set of §V-B9.
+func NonIntensiveWorkloads() []Workload { return trace.NonIntensive() }
+
+// WorkloadByName finds a workload in any set.
+func WorkloadByName(name string) (Workload, bool) { return trace.ByName(name) }
+
+// Mixes returns n deterministic multi-core mixes drawn from the seen set.
+func Mixes(n, cores int) [][]Workload { return trace.Mixes(n, cores) }
+
+// DripperConfig returns the Table II DRIPPER configuration for "berti",
+// "ipcp" or "bop".
+func DripperConfig(prefetcher string) FilterConfig {
+	return core.DefaultDripperConfig(prefetcher)
+}
+
+// NewFilter instantiates a Page-Cross Filter from a MOKA configuration.
+func NewFilter(cfg FilterConfig) (*Filter, error) { return core.NewFilter(cfg) }
+
+// ProgramFeatures lists MOKA's program-feature bouquet (Table I).
+func ProgramFeatures() []string { return core.ProgramFeatureNames() }
+
+// SystemFeatures lists MOKA's system features (Table I).
+func SystemFeatures() []string { return core.SystemFeatureNames() }
+
+// FilterSnapshot is the serialisable learned state of a filter, for the
+// train-offline / deploy-pretrained workflow.
+type FilterSnapshot = core.FilterSnapshot
+
+// DecodeFilterSnapshot deserialises snapshot bytes produced by
+// (*FilterSnapshot).Encode.
+func DecodeFilterSnapshot(data []byte) (*FilterSnapshot, error) {
+	return core.DecodeFilterSnapshot(data)
+}
+
+// SelectFeatures reruns the paper's offline greedy feature selection
+// (§III-D3): eval scores a candidate configuration (geomean IPC speedup in
+// the paper); minGain is the adoption threshold (the paper uses 0.003).
+func SelectFeatures(base FilterConfig, candidates []string, minGain float64,
+	eval func(FilterConfig) (float64, error)) (*core.SelectionResult, error) {
+	return core.SelectFeatures(base, candidates, minGain, eval)
+}
+
+// Speedup returns run IPC / baseline IPC.
+func Speedup(run, baseline *Result) float64 { return stats.Speedup(run, baseline) }
+
+// Geomean returns the geometric mean of positive values.
+func Geomean(xs []float64) (float64, error) { return stats.Geomean(xs) }
+
+// WeightedGeomean returns the weighted geometric mean.
+func WeightedGeomean(xs, weights []float64) (float64, error) {
+	return stats.WeightedGeomean(xs, weights)
+}

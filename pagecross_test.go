@@ -1,0 +1,95 @@
+package pagecross
+
+import "testing"
+
+func TestFacadeRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 5_000
+	cfg.SimInstrs = 10_000
+	cfg.Policy = PolicyDripper
+	w, ok := WorkloadByName("spec.stream_s00")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	r, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Fatalf("IPC %g", r.IPC())
+	}
+}
+
+func TestFacadeWorkloadSets(t *testing.T) {
+	if len(SeenWorkloads()) != 218 || len(UnseenWorkloads()) != 178 {
+		t.Fatal("workload set sizes wrong")
+	}
+	if len(NonIntensiveWorkloads()) == 0 {
+		t.Fatal("non-intensive set empty")
+	}
+	if m := Mixes(5, 4); len(m) != 5 || len(m[0]) != 4 {
+		t.Fatal("mixes shape wrong")
+	}
+}
+
+func TestFacadeFilter(t *testing.T) {
+	f, err := NewFilter(DripperConfig("berti"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.StorageKB() > 1.5 {
+		t.Fatalf("storage %g KB", f.StorageKB())
+	}
+	if len(ProgramFeatures()) < 19 || len(SystemFeatures()) != 6 {
+		t.Fatal("feature registry wrong")
+	}
+	issue, tag := f.Decide(FilterInput{PC: 1, VA: 2, Delta: 3})
+	_ = issue
+	f.RecordDiscard(100, tag)
+	f.OnDemandMiss(100)
+	if f.FalseNegativeHits != 1 {
+		t.Fatal("vUB plumbing broken through facade")
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	g, err := Geomean([]float64{1, 4})
+	if err != nil || g != 2 {
+		t.Fatalf("geomean %g %v", g, err)
+	}
+	wg, err := WeightedGeomean([]float64{2, 8}, []float64{1, 0})
+	if err != nil || wg != 2 {
+		t.Fatalf("weighted geomean %g %v", wg, err)
+	}
+}
+
+func TestFacadeMultiCore(t *testing.T) {
+	mc := DefaultMultiConfig()
+	mc.Cores = 2
+	mc.PerCore.WarmupInstrs = 2_000
+	mc.PerCore.SimInstrs = 5_000
+	mix := Mixes(1, 2)[0]
+	runs, err := RunMix(mc, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].IPC() <= 0 {
+		t.Fatal("multi-core facade broken")
+	}
+}
+
+func TestFacadeSelection(t *testing.T) {
+	eval := func(cfg FilterConfig) (float64, error) {
+		if len(cfg.ProgramFeatures) > 0 && cfg.ProgramFeatures[0] == "Delta" {
+			return 1.05, nil
+		}
+		return 1.0, nil
+	}
+	res, err := SelectFeatures(DripperConfig("berti"), []string{"PC", "Delta"}, 0.003, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected[0] != "Delta" {
+		t.Fatalf("selected %v", res.Selected)
+	}
+}
