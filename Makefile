@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: vet, build, and the full suite under the race
+# detector (the resilience tests exercise the worker pool concurrently).
+check: vet build race

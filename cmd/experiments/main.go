@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/trace"
@@ -19,21 +23,35 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
-		warmup = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
-		instrs = flag.Uint64("instrs", 100_000, "measured instructions per workload")
-		maxWl  = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
-		par    = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
-		cores  = flag.Int("cores", 8, "cores for fig19")
-		mixes  = flag.Int("mixes", 20, "mixes for fig19")
-		pf     = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
-		asJSON = flag.Bool("json", false, "emit results as JSON instead of text")
+		exp     = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
+		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
+		instrs  = flag.Uint64("instrs", 100_000, "measured instructions per workload")
+		maxWl   = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
+		par     = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		cores   = flag.Int("cores", 8, "cores for fig19")
+		mixes   = flag.Int("mixes", 20, "mixes for fig19")
+		pf      = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
+		asJSON  = flag.Bool("json", false, "emit results as JSON instead of text")
+		timeout = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30m (0 = none); completed experiments are kept on expiry")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM (and -timeout) cancel the campaign context; running
+	// matrices observe it at the simulator's watchdog poll grain, so
+	// teardown is prompt and everything printed so far stands.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	o := experiments.Options{
 		Warmup: *warmup, Instrs: *instrs,
 		MaxWorkloads: *maxWl, Parallel: *par, Prefetcher: *pf,
+		Ctx: ctx,
 	}
 
 	run := func(name string) error {
@@ -215,9 +233,19 @@ func main() {
 			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 			"table3", "table5", "fig19"}
 	}
-	for _, n := range names {
+	for i, n := range names {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted (%v); %d/%d experiments completed above\n",
+				ctx.Err(), i, len(names))
+			os.Exit(130)
+		}
 		fmt.Printf("==> %s (workloads<=%d, %d+%d instrs)\n", n, o.MaxWorkloads, o.Warmup, o.Instrs)
 		if err := run(n); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted (%v); %d/%d experiments completed above\n",
+					n, err, i, len(names))
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
 			os.Exit(1)
 		}

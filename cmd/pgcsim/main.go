@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -30,8 +34,18 @@ func main() {
 		largePages = flag.Bool("large-pages", false, "back half the address space with 2MB pages")
 		traceFile  = flag.String("trace", "", "run a recorded .pgct trace file instead of a named workload")
 		list       = flag.Bool("list", false, "list all workloads and exit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 5m (0 = none); partial statistics are printed on expiry or Ctrl-C")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		for _, w := range trace.All() {
@@ -72,17 +86,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", rerr)
 			os.Exit(1)
 		}
-		run, err = sim.RunTrace(cfg, *traceFile, "file", trace.NewSliceReader(instrs))
+		run, err = sim.RunTraceCtx(ctx, cfg, *traceFile, "file", trace.NewSliceReader(instrs))
 	} else {
 		w, ok := trace.ByName(*workload)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "pgcsim: unknown workload %q (try -list)\n", *workload)
 			os.Exit(1)
 		}
-		run, err = sim.RunWorkload(cfg, w)
+		run, err = sim.RunWorkloadCtx(ctx, cfg, w)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pgcsim: %v\n", err)
+		// An interrupted measurement still returns the statistics collected
+		// so far; print them clearly marked as partial.
+		if run != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			fmt.Printf("-- partial results (interrupted mid-measurement) --\n")
+			report(run)
+		}
 		os.Exit(1)
 	}
 	report(run)

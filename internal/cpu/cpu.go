@@ -76,6 +76,7 @@ type Core struct {
 	ports Ports
 
 	rob   []uint64 // completion cycles, ring buffer
+	robPC []uint64 // dispatching PC per ROB entry (watchdog diagnostics)
 	head  int
 	count int
 
@@ -90,6 +91,12 @@ type Core struct {
 
 	cycle     uint64
 	nextEpoch uint64
+
+	// Forward-progress bookkeeping for the watchdog. Unlike Stats these
+	// are never reset, so progress checks survive ResetStats at the
+	// warmup/measurement boundary.
+	retiredTotal uint64
+	lastRetire   uint64
 
 	// BP is the hashed perceptron branch predictor (Table IV).
 	BP *BranchPredictor
@@ -111,6 +118,7 @@ func New(cfg Config, ports Ports) (*Core, error) {
 		cfg:   cfg,
 		ports: ports,
 		rob:   make([]uint64, cfg.ROBSize),
+		robPC: make([]uint64, cfg.ROBSize),
 		BP:    NewBranchPredictor(),
 		Stats: &stats.CoreStats{},
 	}, nil
@@ -205,7 +213,10 @@ func (c *Core) step() {
 			}
 		}
 	}
-	if retired == 0 && c.count > 0 {
+	if retired > 0 {
+		c.retiredTotal += uint64(retired)
+		c.lastRetire = cyc
+	} else if c.count > 0 {
 		c.Stats.ROBStallCycles++
 	}
 
@@ -254,12 +265,35 @@ func (c *Core) step() {
 		}
 		tail := (c.head + c.count) % c.cfg.ROBSize
 		c.rob[tail] = done
+		c.robPC[tail] = in.PC
 		c.count++
 	}
 
 	c.Stats.ROBOccupancy += uint64(c.count)
 	c.Stats.Cycles++
 	c.cycle++
+}
+
+// RetiredTotal returns the monotonic count of instructions retired over the
+// core's whole lifetime, across Attach and ResetStats boundaries. The
+// forward-progress watchdog keys off it.
+func (c *Core) RetiredTotal() uint64 { return c.retiredTotal }
+
+// LastRetireCycle returns the cycle at which the core last retired at least
+// one instruction (0 if it never has).
+func (c *Core) LastRetireCycle() uint64 { return c.lastRetire }
+
+// ROBCount returns the current ROB occupancy in entries.
+func (c *Core) ROBCount() int { return c.count }
+
+// ROBHead returns the PC and completion cycle of the instruction at the ROB
+// head; ok is false when the ROB is empty. A head whose ready cycle is far
+// beyond the current cycle is the signature of a stuck memory operation.
+func (c *Core) ROBHead() (pc, ready uint64, ok bool) {
+	if c.count == 0 {
+		return 0, 0, false
+	}
+	return c.robPC[c.head], c.rob[c.head], true
 }
 
 // ROBOccupancyFrac returns the mean ROB occupancy as a fraction of the ROB

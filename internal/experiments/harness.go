@@ -10,10 +10,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,6 +35,27 @@ type Options struct {
 	Parallel int
 	// Prefetcher is the L1D prefetcher under study (default "berti").
 	Prefetcher string
+
+	// Ctx, when non-nil, cancels the whole experiment: RunMatrix observes
+	// it between and inside runs (at the simulator's watchdog poll grain).
+	// nil means context.Background().
+	Ctx context.Context
+	// RunTimeout, when non-zero, bounds each individual run's wall-clock
+	// time; an expired run is recorded as a failure, not a campaign abort.
+	RunTimeout time.Duration
+	// Retries is how many times a retryable failure (sim.Retryable) is
+	// retried before landing in the failure ledger; 0 disables retry.
+	Retries int
+	// RetryBackoff is the base backoff between retries (multiplied by the
+	// attempt number); 0 retries immediately.
+	RetryBackoff time.Duration
+	// Watchdog overrides the simulator's forward-progress watchdog for
+	// every run of the experiment (zero value = simulator defaults).
+	Watchdog sim.WatchdogConfig
+	// Configure, when non-nil, mutates each job's configuration after the
+	// scenario has been applied — the hook fault-injection tests and
+	// per-workload overrides use.
+	Configure func(cfg *sim.Config, scenario string, wl trace.Workload)
 }
 
 func (o Options) withDefaults() Options {
@@ -55,7 +80,16 @@ func baseConfig(o Options) sim.Config {
 	cfg.WarmupInstrs = o.Warmup
 	cfg.SimInstrs = o.Instrs
 	cfg.L1DPrefetcher = o.Prefetcher
+	cfg.Watchdog = o.Watchdog
 	return cfg
+}
+
+// ctx returns the experiment's context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Sample returns up to n workloads evenly spaced across ws (preserving the
@@ -105,9 +139,73 @@ func scenarioDripper() Scenario {
 // Matrix holds runs indexed by scenario name then workload name.
 type Matrix map[string]map[string]*stats.Run
 
+// RunFailure is one failure-ledger entry: which (scenario, workload) pair
+// failed, with what error, after how many attempts.
+type RunFailure struct {
+	Scenario, Workload string
+	Attempts           int
+	Err                error
+}
+
+// MatrixReport is the outcome of a resilient matrix campaign: every run
+// that completed, plus an explicit per-(scenario, workload) failure ledger.
+// One poisoned workload degrades coverage instead of destroying it.
+type MatrixReport struct {
+	Matrix   Matrix
+	Failures []RunFailure
+	Total    int // runs attempted = len(scenarios) × len(workloads)
+}
+
+// Complete reports whether every run succeeded.
+func (r *MatrixReport) Complete() bool { return len(r.Failures) == 0 }
+
+// Err aggregates the failure ledger into one error (nil when complete).
+func (r *MatrixReport) Err() error {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	f := r.Failures[0]
+	return fmt.Errorf("experiments: %d/%d runs failed (first: %s/%s after %d attempt(s): %w)",
+		len(r.Failures), r.Total, f.Scenario, f.Workload, f.Attempts, f.Err)
+}
+
+// FailedWorkloads returns the distinct workload names in the ledger, sorted.
+func (r *MatrixReport) FailedWorkloads() []string {
+	set := map[string]bool{}
+	for _, f := range r.Failures {
+		set[f.Workload] = true
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RunMatrix simulates every workload under every scenario, in parallel.
+// Unlike the report variant it folds the failure ledger into a single
+// error, but it still returns the completed portion of the matrix alongside
+// that error so callers can salvage partial campaigns.
 func RunMatrix(o Options, wls []trace.Workload, scens []Scenario) (Matrix, error) {
+	rep, err := RunMatrixCtx(o.ctx(), o, wls, scens)
+	if err != nil {
+		return rep.Matrix, err
+	}
+	return rep.Matrix, rep.Err()
+}
+
+// RunMatrixCtx simulates every workload under every scenario, in parallel,
+// with fault isolation: a panicking or erroring run is converted into a
+// typed failure-ledger entry (retryable failures are retried with backoff
+// up to Options.Retries) and every other run still completes. The returned
+// error is non-nil only when ctx itself is cancelled or expires; the report
+// then holds whatever completed before teardown.
+func RunMatrixCtx(ctx context.Context, o Options, wls []trace.Workload, scens []Scenario) (*MatrixReport, error) {
 	o = o.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type job struct {
 		scen Scenario
 		wl   trace.Workload
@@ -116,6 +214,7 @@ func RunMatrix(o Options, wls []trace.Workload, scens []Scenario) (Matrix, error
 	type res struct {
 		scen, wl string
 		run      *stats.Run
+		attempts int
 		err      error
 	}
 	results := make(chan res)
@@ -126,69 +225,165 @@ func RunMatrix(o Options, wls []trace.Workload, scens []Scenario) (Matrix, error
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				cfg := baseConfig(o)
-				j.scen.Configure(&cfg)
-				run, err := sim.RunWorkload(cfg, j.wl)
-				results <- res{j.scen.Name, j.wl.Name, run, err}
+				run, attempts, err := runJob(ctx, o, j.scen, j.wl)
+				results <- res{j.scen.Name, j.wl.Name, run, attempts, err}
 			}
 		}()
 	}
 	go func() {
+		defer close(jobs)
 		for _, sc := range scens {
 			for _, wl := range wls {
-				jobs <- job{sc, wl}
+				select {
+				case jobs <- job{sc, wl}:
+				case <-ctx.Done():
+					return // stop feeding; in-flight runs unwind at the poll grain
+				}
 			}
 		}
-		close(jobs)
+	}()
+	go func() {
 		wg.Wait()
 		close(results)
 	}()
 
-	m := Matrix{}
-	var firstErr error
+	rep := &MatrixReport{Matrix: Matrix{}, Total: len(scens) * len(wls)}
 	for r := range results {
 		if r.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s/%s: %w", r.scen, r.wl, r.err)
+			// Runs torn down by the campaign-wide cancellation are not
+			// individual failures; the returned ctx error covers them.
+			if ctx.Err() != nil && errors.Is(r.err, ctx.Err()) {
+				continue
 			}
+			rep.Failures = append(rep.Failures, RunFailure{
+				Scenario: r.scen, Workload: r.wl, Attempts: r.attempts, Err: r.err,
+			})
 			continue
 		}
-		if m[r.scen] == nil {
-			m[r.scen] = map[string]*stats.Run{}
+		if rep.Matrix[r.scen] == nil {
+			rep.Matrix[r.scen] = map[string]*stats.Run{}
 		}
-		m[r.scen][r.wl] = r.run
+		rep.Matrix[r.scen][r.wl] = r.run
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	sort.Slice(rep.Failures, func(i, j int) bool {
+		a, b := rep.Failures[i], rep.Failures[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		return a.Workload < b.Workload
+	})
+	return rep, ctx.Err()
+}
+
+// runJob runs one (scenario, workload) pair, retrying retryable failures
+// with linear backoff up to Options.Retries.
+func runJob(ctx context.Context, o Options, sc Scenario, wl trace.Workload) (run *stats.Run, attempts int, err error) {
+	for attempts = 1; ; attempts++ {
+		run, err = runOnce(ctx, o, sc, wl)
+		if err == nil || !sim.Retryable(err) || attempts > o.Retries || ctx.Err() != nil {
+			return run, attempts, err
+		}
+		if delay := o.RetryBackoff * time.Duration(attempts); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return run, attempts, err
+			case <-t.C:
+			}
+		}
 	}
-	return m, nil
+}
+
+// runOnce runs one simulation attempt, converting panics into *sim.RunError
+// so a poisoned workload cannot take the process down, and dropping partial
+// statistics (a run interrupted mid-measurement is not comparable).
+func runOnce(ctx context.Context, o Options, sc Scenario, wl trace.Workload) (run *stats.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			run = nil
+			err = &sim.RunError{
+				Workload: wl.Name, Stage: "measure", Panicked: true,
+				Err: fmt.Errorf("recovered panic: %v", r),
+			}
+		}
+	}()
+	cfg := baseConfig(o)
+	sc.Configure(&cfg)
+	if o.Configure != nil {
+		o.Configure(&cfg, sc.Name, wl)
+	}
+	if o.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.RunTimeout)
+		defer cancel()
+	}
+	run, err = sim.RunWorkloadCtx(ctx, cfg, wl)
+	if err != nil {
+		run = nil
+	}
+	return run, err
 }
 
 // Speedups returns the per-workload IPC speedups of scenario over base,
-// ordered like wls, along with the matching weights.
+// ordered like wls, along with the matching weights. Any missing pair is an
+// error naming every missing workload; degraded matrices should use
+// SpeedupsAvailable instead.
 func (m Matrix) Speedups(scen, base string, wls []trace.Workload) (sp, weights []float64, err error) {
-	s, b := m[scen], m[base]
-	if s == nil || b == nil {
+	sp, weights, missing := m.SpeedupsAvailable(scen, base, wls)
+	if m[scen] == nil || m[base] == nil {
 		return nil, nil, fmt.Errorf("experiments: scenario %q or %q missing", scen, base)
 	}
-	for _, w := range wls {
-		rs, rb := s[w.Name], b[w.Name]
-		if rs == nil || rb == nil {
-			return nil, nil, fmt.Errorf("experiments: run missing for %s", w.Name)
-		}
-		sp = append(sp, stats.Speedup(rs, rb))
-		weights = append(weights, w.Weight)
+	if len(missing) > 0 {
+		return nil, nil, fmt.Errorf("experiments: %s vs %s: %d run(s) missing: %s",
+			scen, base, len(missing), strings.Join(missing, ", "))
 	}
 	return sp, weights, nil
 }
 
-// Geomean returns the weighted geomean speedup of scen over base.
+// SpeedupsAvailable is Speedups over the pairs present under both
+// scenarios: missing workloads are skipped and reported by name instead of
+// failing the reduction — the degraded-matrix accessor.
+func (m Matrix) SpeedupsAvailable(scen, base string, wls []trace.Workload) (sp, weights []float64, missing []string) {
+	s, b := m[scen], m[base]
+	for _, w := range wls {
+		var rs, rb *stats.Run
+		if s != nil {
+			rs = s[w.Name]
+		}
+		if b != nil {
+			rb = b[w.Name]
+		}
+		if rs == nil || rb == nil {
+			missing = append(missing, w.Name)
+			continue
+		}
+		sp = append(sp, stats.Speedup(rs, rb))
+		weights = append(weights, w.Weight)
+	}
+	return sp, weights, missing
+}
+
+// Geomean returns the weighted geomean speedup of scen over base,
+// requiring a complete matrix.
 func (m Matrix) Geomean(scen, base string, wls []trace.Workload) (float64, error) {
 	sp, w, err := m.Speedups(scen, base, wls)
 	if err != nil {
 		return 0, err
 	}
 	return stats.WeightedGeomean(sp, w)
+}
+
+// GeomeanAvailable returns the weighted geomean speedup over the surviving
+// workloads of a degraded matrix, along with the names skipped. It errors
+// only when no pair at all survives.
+func (m Matrix) GeomeanAvailable(scen, base string, wls []trace.Workload) (g float64, missing []string, err error) {
+	sp, w, missing := m.SpeedupsAvailable(scen, base, wls)
+	if len(sp) == 0 {
+		return 0, missing, fmt.Errorf("experiments: no surviving (%s, %s) pairs over %d workloads", scen, base, len(wls))
+	}
+	g, err = stats.WeightedGeomean(sp, w)
+	return g, missing, err
 }
 
 // bySuite groups workloads by suite name, sorted.

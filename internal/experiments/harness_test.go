@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// poisonOpts keeps degraded-matrix tests fast under -race.
+func poisonOpts() Options {
+	return Options{Warmup: 5_000, Instrs: 10_000}
+}
+
+// poisonedWorkload clones a real workload under a sentinel name; the
+// Configure hook arms the fault injector for it only.
+func poisonedWorkload(t *testing.T) trace.Workload {
+	t.Helper()
+	w, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		t.Fatal("workload spec.stream_s00 missing")
+	}
+	w.Name = "spec.poisoned"
+	return w
+}
+
+// sevenScenarios is the full §V-A scenario column set.
+func sevenScenarios() []Scenario {
+	return []Scenario{
+		scenarioPermit(), scenarioDiscard(), scenarioDiscardPTW(),
+		scenarioISO(), scenarioPPF(), scenarioPPFDthr(), scenarioDripper(),
+	}
+}
+
+// TestDegradedMatrixSurvivesPoisonedWorkload is the acceptance scenario: a
+// 7-scenario matrix with one workload whose trace decoder panics must still
+// return every other (scenario, workload) pair plus an explicit ledger.
+func TestDegradedMatrixSurvivesPoisonedWorkload(t *testing.T) {
+	good := tinySet(t)[:2]
+	poisoned := poisonedWorkload(t)
+	wls := append(append([]trace.Workload{}, good...), poisoned)
+	scens := sevenScenarios()
+
+	o := poisonOpts()
+	o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
+		if wl.Name == poisoned.Name {
+			cfg.FaultInject = faultinject.New(faultinject.Config{PanicAtRecord: 1_000})
+		}
+	}
+
+	rep, err := RunMatrixCtx(context.Background(), o, wls, scens)
+	if err != nil {
+		t.Fatalf("campaign-level error: %v", err)
+	}
+	if rep.Complete() {
+		t.Fatal("report claims completeness despite a poisoned workload")
+	}
+	if rep.Total != len(scens)*len(wls) {
+		t.Fatalf("total = %d", rep.Total)
+	}
+
+	// Every non-poisoned pair completed.
+	for _, sc := range scens {
+		runs := rep.Matrix[sc.Name]
+		if runs == nil {
+			t.Fatalf("scenario %s missing entirely", sc.Name)
+		}
+		for _, w := range good {
+			if runs[w.Name] == nil {
+				t.Fatalf("run %s/%s missing", sc.Name, w.Name)
+			}
+		}
+		if runs[poisoned.Name] != nil {
+			t.Fatalf("poisoned run %s/%s present", sc.Name, poisoned.Name)
+		}
+	}
+
+	// The ledger lists exactly the poisoned pairs, as recovered panics.
+	if len(rep.Failures) != len(scens) {
+		t.Fatalf("ledger has %d entries, want %d: %+v", len(rep.Failures), len(scens), rep.Failures)
+	}
+	for _, f := range rep.Failures {
+		if f.Workload != poisoned.Name {
+			t.Fatalf("unexpected failure %s/%s: %v", f.Scenario, f.Workload, f.Err)
+		}
+		var re *sim.RunError
+		if !errors.As(f.Err, &re) || !re.Panicked {
+			t.Fatalf("failure %s/%s is not a recovered panic: %v", f.Scenario, f.Workload, f.Err)
+		}
+	}
+	if fw := rep.FailedWorkloads(); len(fw) != 1 || fw[0] != poisoned.Name {
+		t.Fatalf("failed workloads = %v", fw)
+	}
+	if rep.Err() == nil {
+		t.Fatal("aggregated error missing")
+	}
+
+	// Degraded reductions: the strict accessor names the missing pair, the
+	// Available accessors compute over the survivors.
+	if _, _, err := rep.Matrix.Speedups("Permit PGC", "Discard PGC", wls); err == nil {
+		t.Fatal("strict Speedups accepted a degraded matrix")
+	} else if !strings.Contains(err.Error(), poisoned.Name) {
+		t.Fatalf("strict Speedups error does not name the missing pair: %v", err)
+	}
+	sp, weights, missing := rep.Matrix.SpeedupsAvailable("Permit PGC", "Discard PGC", wls)
+	if len(sp) != len(good) || len(weights) != len(good) {
+		t.Fatalf("surviving speedups = %d, want %d", len(sp), len(good))
+	}
+	if len(missing) != 1 || missing[0] != poisoned.Name {
+		t.Fatalf("missing = %v", missing)
+	}
+	g, missing, err := rep.Matrix.GeomeanAvailable("Permit PGC", "Discard PGC", wls)
+	if err != nil {
+		t.Fatalf("degraded geomean: %v", err)
+	}
+	if g <= 0 {
+		t.Fatalf("degraded geomean = %g", g)
+	}
+	if len(missing) != 1 {
+		t.Fatalf("geomean missing = %v", missing)
+	}
+}
+
+// TestRunMatrixReturnsPartialOnError pins the satellite fix: the one-shot
+// wrapper must return the completed portion alongside the aggregated error.
+func TestRunMatrixReturnsPartialOnError(t *testing.T) {
+	good := tinySet(t)[:1]
+	poisoned := poisonedWorkload(t)
+	wls := append(append([]trace.Workload{}, good...), poisoned)
+
+	o := poisonOpts()
+	o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
+		if wl.Name == poisoned.Name {
+			cfg.FaultInject = faultinject.New(faultinject.Config{PanicAtRecord: 1_000})
+		}
+	}
+	m, err := RunMatrix(o, wls, []Scenario{scenarioDiscard(), scenarioPermit()})
+	if err == nil {
+		t.Fatal("poisoned matrix returned no error")
+	}
+	if m == nil {
+		t.Fatal("completed portion dropped")
+	}
+	for _, sc := range []string{"Discard PGC", "Permit PGC"} {
+		if m[sc][good[0].Name] == nil {
+			t.Fatalf("completed run %s/%s dropped", sc, good[0].Name)
+		}
+	}
+}
+
+func TestRunMatrixCtxCancellationIsPrompt(t *testing.T) {
+	wls := tinySet(t)
+	o := Options{Warmup: 0, Instrs: 2_000_000_000, Parallel: 2}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep, err := RunMatrixCtx(ctx, o, wls, sevenScenarios())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("report missing on cancellation")
+	}
+	// Teardown is bounded by the watchdog poll grain (microseconds of
+	// simulated work per check), not the multi-minute instruction budget;
+	// 5s is hundreds of poll intervals of slack for a loaded CI machine.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// Cancelled runs are not individual failures.
+	for _, f := range rep.Failures {
+		t.Fatalf("cancellation produced ledger entry %s/%s: %v", f.Scenario, f.Workload, f.Err)
+	}
+}
+
+func TestRunMatrixRetriesTransientFailures(t *testing.T) {
+	wls := tinySet(t)[:1]
+	inj := faultinject.New(faultinject.Config{FailAttempts: 2})
+	o := poisonOpts()
+	o.Retries = 3
+	o.RetryBackoff = time.Millisecond
+	o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
+		cfg.FaultInject = inj
+	}
+	rep, err := RunMatrixCtx(context.Background(), o, wls, []Scenario{scenarioDiscard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("transient failures not absorbed: %+v", rep.Failures)
+	}
+	if rep.Matrix["Discard PGC"][wls[0].Name] == nil {
+		t.Fatal("run missing after retries")
+	}
+	if inj.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 failures + 1 success)", inj.Attempts())
+	}
+}
+
+func TestRunMatrixDoesNotRetryDeterministicStalls(t *testing.T) {
+	wls := tinySet(t)[:1]
+	inj := faultinject.New(faultinject.Config{StallRetireAfter: 2_000})
+	o := poisonOpts()
+	o.Retries = 5
+	o.Watchdog = sim.WatchdogConfig{NoRetireBound: 20_000, PollEvery: 1_000}
+	o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
+		cfg.FaultInject = inj
+	}
+	rep, err := RunMatrixCtx(context.Background(), o, wls, []Scenario{scenarioDiscard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures = %+v", rep.Failures)
+	}
+	f := rep.Failures[0]
+	if f.Attempts != 1 {
+		t.Fatalf("deterministic stall retried %d times", f.Attempts)
+	}
+	var stall *sim.StallError
+	if !errors.As(f.Err, &stall) {
+		t.Fatalf("ledger error %v is not a StallError", f.Err)
+	}
+}

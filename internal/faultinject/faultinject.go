@@ -1,0 +1,178 @@
+// Package faultinject deliberately breaks the simulator on demand so the
+// resilience machinery can be proven rather than assumed. An Injector is
+// wired into a run through sim.Config hooks and can:
+//
+//   - stall retirement (loads stop completing after N retired instructions),
+//     which the forward-progress watchdog must catch;
+//   - inflate memory latency (every access to the wrapped level pays a fixed
+//     surcharge), for deadline and throughput-degradation tests;
+//   - corrupt or blow up trace records (wild addresses, or a hard panic at a
+//     chosen record), which the matrix harness must isolate to one run;
+//   - fail the first N run attempts with a retryable transient error, which
+//     the harness's bounded retry must absorb.
+//
+// All methods are safe on a nil *Injector (they become no-ops), so call
+// sites do not need nil guards, and safe for concurrent use by matrix
+// workers sharing one injector.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// DefaultStallLatency pushes a stalled load's completion far enough out
+// that any sane no-retire bound trips first.
+const DefaultStallLatency = uint64(1) << 40
+
+// Config selects the faults to inject. The zero value injects nothing.
+type Config struct {
+	// StallRetireAfter, when non-zero, makes every load issued after the
+	// core has retired this many instructions (lifetime count) complete
+	// StallLatency cycles in the future — an artificial retire stall.
+	StallRetireAfter uint64
+	// StallLatency is the completion delay of stalled loads
+	// (DefaultStallLatency when zero).
+	StallLatency uint64
+
+	// ExtraMemLatency is added to the ready cycle of every access that
+	// reaches the wrapped memory level (unbounded-DRAM-latency tests).
+	ExtraMemLatency uint64
+
+	// CorruptEveryN, when non-zero, flips address bits of every Nth record
+	// yielded by a wrapped trace reader.
+	CorruptEveryN uint64
+	// PanicAtRecord, when non-zero, makes a wrapped reader panic when it
+	// yields its Nth record (1-based) — models a decoder bug and exercises
+	// the harness's panic isolation.
+	PanicAtRecord uint64
+
+	// FailAttempts, when non-zero, fails the first N run attempts (counted
+	// across the injector) with a retryable TransientError before any
+	// simulation work happens.
+	FailAttempts int
+}
+
+// Injector injects the configured faults. Share one across matrix workers
+// to count run attempts globally.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts int
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.StallLatency == 0 {
+		cfg.StallLatency = DefaultStallLatency
+	}
+	return &Injector{cfg: cfg}
+}
+
+// LoadReady maps a load's computed ready cycle to the injected one. retired
+// is the core's lifetime retired-instruction count at issue time.
+func (i *Injector) LoadReady(retired, cycle, ready uint64) uint64 {
+	if i == nil {
+		return ready
+	}
+	if a := i.cfg.StallRetireAfter; a > 0 && retired >= a {
+		return cycle + i.cfg.StallLatency
+	}
+	return ready
+}
+
+// BeginAttempt is called once per run attempt; it returns a retryable
+// TransientError for the first FailAttempts calls.
+func (i *Injector) BeginAttempt() error {
+	if i == nil || i.cfg.FailAttempts <= 0 {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.attempts++
+	if i.attempts <= i.cfg.FailAttempts {
+		return &TransientError{Err: fmt.Errorf("faultinject: injected transient failure (attempt %d of %d)", i.attempts, i.cfg.FailAttempts)}
+	}
+	return nil
+}
+
+// Attempts returns how many run attempts the injector has seen.
+func (i *Injector) Attempts() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.attempts
+}
+
+// TransientError marks an injected failure as retryable; the matrix
+// harness's bounded retry consumes it.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Retryable satisfies sim.Retryable's interface probe.
+func (e *TransientError) Retryable() bool { return true }
+
+// WrapReader wraps a trace reader with the configured record corruption.
+// The record counter is lifetime-monotonic (it deliberately survives Reset)
+// so "the Nth record the simulator consumes" is well defined across the
+// warmup/measure re-attach and multi-core replay.
+func (i *Injector) WrapReader(r trace.Reader) trace.Reader {
+	if i == nil || (i.cfg.CorruptEveryN == 0 && i.cfg.PanicAtRecord == 0) {
+		return r
+	}
+	return &corruptReader{inner: r, cfg: i.cfg}
+}
+
+type corruptReader struct {
+	inner trace.Reader
+	cfg   Config
+	n     uint64
+}
+
+func (r *corruptReader) Next() (trace.Instr, bool) {
+	in, ok := r.inner.Next()
+	if !ok {
+		return in, ok
+	}
+	r.n++
+	if p := r.cfg.PanicAtRecord; p > 0 && r.n == p {
+		panic(fmt.Sprintf("faultinject: corrupted trace record %d (pc=%#x kind=%d)", r.n, in.PC, in.Kind))
+	}
+	if c := r.cfg.CorruptEveryN; c > 0 && r.n%c == 0 {
+		in.Addr ^= 0x5A5A_5A5A_5A5A // wild but mappable: vmem wraps on OOM
+		in.PC ^= 0xA5A5 << 12
+	}
+	return in, true
+}
+
+func (r *corruptReader) Reset() { r.inner.Reset() }
+
+// WrapLevel wraps a memory level (typically DRAM) so every access pays
+// ExtraMemLatency additional cycles.
+func (i *Injector) WrapLevel(l cache.Level) cache.Level {
+	if i == nil || i.cfg.ExtraMemLatency == 0 {
+		return l
+	}
+	return &slowLevel{inner: l, extra: i.cfg.ExtraMemLatency}
+}
+
+type slowLevel struct {
+	inner cache.Level
+	extra uint64
+}
+
+// Access implements cache.Level.
+func (l *slowLevel) Access(req *cache.Request, cycle uint64) uint64 {
+	return l.inner.Access(req, cycle) + l.extra
+}

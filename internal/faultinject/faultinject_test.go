@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if got := inj.LoadReady(10, 5, 7); got != 7 {
+		t.Fatalf("LoadReady = %d, want passthrough 7", got)
+	}
+	if err := inj.BeginAttempt(); err != nil {
+		t.Fatalf("BeginAttempt on nil injector: %v", err)
+	}
+	r := trace.NewSliceReader([]trace.Instr{{PC: 1}})
+	if inj.WrapReader(r) != r {
+		t.Fatal("nil injector must not wrap readers")
+	}
+	if inj.Attempts() != 0 {
+		t.Fatal("nil injector reports attempts")
+	}
+}
+
+func TestLoadReadyStallsAfterThreshold(t *testing.T) {
+	inj := New(Config{StallRetireAfter: 100, StallLatency: 1 << 20})
+	if got := inj.LoadReady(99, 50, 60); got != 60 {
+		t.Fatalf("pre-threshold load stalled: %d", got)
+	}
+	if got := inj.LoadReady(100, 50, 60); got != 50+(1<<20) {
+		t.Fatalf("post-threshold load ready = %d", got)
+	}
+}
+
+func TestBeginAttemptFailsFirstN(t *testing.T) {
+	inj := New(Config{FailAttempts: 2})
+	for i := 0; i < 2; i++ {
+		err := inj.BeginAttempt()
+		if err == nil {
+			t.Fatalf("attempt %d should fail", i+1)
+		}
+		var te *TransientError
+		if !errors.As(err, &te) || !te.Retryable() {
+			t.Fatalf("attempt %d error %v is not a retryable TransientError", i+1, err)
+		}
+	}
+	if err := inj.BeginAttempt(); err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+	if inj.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3", inj.Attempts())
+	}
+}
+
+func TestWrapReaderCorruptsEveryNth(t *testing.T) {
+	src := make([]trace.Instr, 10)
+	for i := range src {
+		src[i] = trace.Instr{PC: uint64(0x1000 + i), Kind: trace.Load, Addr: uint64(0x8000 + i)}
+	}
+	inj := New(Config{CorruptEveryN: 3})
+	r := inj.WrapReader(trace.NewSliceReader(src))
+	var corrupted int
+	for i := 0; ; i++ {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		if in != src[i] {
+			corrupted++
+			if (i+1)%3 != 0 {
+				t.Fatalf("record %d corrupted off-schedule", i+1)
+			}
+		}
+	}
+	if corrupted != 3 {
+		t.Fatalf("corrupted %d records, want 3", corrupted)
+	}
+}
+
+func TestWrapReaderPanicsAtRecord(t *testing.T) {
+	src := []trace.Instr{{PC: 1}, {PC: 2}, {PC: 3}}
+	inj := New(Config{PanicAtRecord: 2})
+	r := inj.WrapReader(trace.NewSliceReader(src))
+	r.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("record 2 did not panic")
+		}
+	}()
+	r.Next()
+}

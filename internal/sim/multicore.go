@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -75,6 +76,14 @@ func NewMulti(cfg MultiConfig) (*MultiSystem, error) {
 // (the core stops retiring into Stats once its budget is spent, so replay
 // only keeps pressure on the shared levels).
 func (m *MultiSystem) RunMix(mix []trace.Workload) ([]*stats.Run, error) {
+	return m.RunMixCtx(context.Background(), mix)
+}
+
+// RunMixCtx is RunMix under a context and the per-core watchdog: it returns
+// ctx.Err() promptly on cancellation and a *StallError when no core retires
+// any instruction for the configured bound (a shared-level deadlock would
+// otherwise spin the interleave loop forever).
+func (m *MultiSystem) RunMixCtx(ctx context.Context, mix []trace.Workload) ([]*stats.Run, error) {
 	if len(mix) != len(m.Systems) {
 		return nil, fmt.Errorf("sim: mix has %d workloads for %d cores", len(mix), len(m.Systems))
 	}
@@ -83,12 +92,15 @@ func (m *MultiSystem) RunMix(mix []trace.Workload) ([]*stats.Run, error) {
 	for i, w := range mix {
 		r, err := w.NewReader()
 		if err != nil {
-			return nil, err
+			return nil, &RunError{Workload: w.Name, Stage: "setup", Err: err}
 		}
-		readers[i] = r
-		m.Systems[i].Core.Attach(r, m.cfg.PerCore.WarmupInstrs)
+		readers[i] = m.cfg.PerCore.FaultInject.WrapReader(r)
+		m.Systems[i].Core.Attach(readers[i], m.cfg.PerCore.WarmupInstrs)
 	}
-	m.interleave()
+	wd := newMultiWatchdog(m)
+	if err := m.interleave(ctx, wd); err != nil {
+		return nil, err
+	}
 	for _, sys := range m.Systems {
 		sys.ResetStats()
 	}
@@ -117,12 +129,15 @@ func (m *MultiSystem) RunMix(mix []trace.Workload) ([]*stats.Run, error) {
 			}
 			sys.Core.StepCycles(m.cfg.QuantumCycles)
 		}
+		if err := wd.check(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
 // interleave steps all cores in round-robin quanta until every core is done.
-func (m *MultiSystem) interleave() {
+func (m *MultiSystem) interleave(ctx context.Context, wd *multiWatchdog) error {
 	for {
 		allDone := true
 		for _, sys := range m.Systems {
@@ -132,7 +147,65 @@ func (m *MultiSystem) interleave() {
 			}
 		}
 		if allDone {
-			return
+			return nil
+		}
+		if err := wd.check(ctx); err != nil {
+			return err
 		}
 	}
+}
+
+// multiWatchdog adapts the single-core watchdog to the interleave loop:
+// progress is the sum of lifetime retirements over all cores, checked once
+// per round-robin sweep (each sweep advances every live core by
+// QuantumCycles, so sweeps are a cycle-proportional clock).
+type multiWatchdog struct {
+	m           *MultiSystem
+	wd          WatchdogConfig
+	lastRetired uint64
+	idleSweeps  uint64 // consecutive sweeps without any retirement
+	sweeps      uint64
+}
+
+func newMultiWatchdog(m *MultiSystem) *multiWatchdog {
+	return &multiWatchdog{m: m, wd: m.cfg.PerCore.Watchdog.withDefaults()}
+}
+
+func (w *multiWatchdog) check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if w.wd.Disable {
+		return nil
+	}
+	w.sweeps++
+	total := uint64(0)
+	for _, sys := range w.m.Systems {
+		total += sys.Core.RetiredTotal()
+	}
+	if total != w.lastRetired {
+		w.lastRetired = total
+		w.idleSweeps = 0
+	} else {
+		w.idleSweeps++
+	}
+	quantum := w.m.cfg.QuantumCycles
+	if w.idleSweeps*quantum > w.wd.NoRetireBound {
+		return &StallError{Reason: StallNoRetire, Bound: w.wd.NoRetireBound, Snap: w.stuckSnapshot()}
+	}
+	if w.wd.MaxCycles > 0 && w.sweeps*quantum > w.wd.MaxCycles {
+		return &StallError{Reason: StallCycleCeiling, Bound: w.wd.MaxCycles, Snap: w.stuckSnapshot()}
+	}
+	return nil
+}
+
+// stuckSnapshot snapshots the first core that is still running (all cores
+// are stuck when the no-retire bound trips; any live one is diagnostic).
+func (w *multiWatchdog) stuckSnapshot() Snapshot {
+	for _, sys := range w.m.Systems {
+		if !sys.Core.Done() {
+			return sys.Snapshot()
+		}
+	}
+	return w.m.Systems[0].Snapshot()
 }

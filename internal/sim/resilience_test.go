@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+)
+
+// testWorkload returns a known workload with small budgets applied to cfg.
+func testWorkload(t *testing.T, cfg *Config) trace.Workload {
+	t.Helper()
+	w, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		t.Fatal("workload spec.stream_s00 missing")
+	}
+	cfg.WarmupInstrs = 5_000
+	cfg.SimInstrs = 20_000
+	return w
+}
+
+func TestWatchdogCatchesInjectedStall(t *testing.T) {
+	cfg := DefaultConfig()
+	w := testWorkload(t, &cfg)
+	// Seeded deadlock: after 8k retired instructions every load completes
+	// ~2^40 cycles out, so the ROB head never unblocks. The watchdog must
+	// catch it within its bound instead of spinning forever.
+	cfg.FaultInject = faultinject.New(faultinject.Config{StallRetireAfter: 8_000})
+	cfg.Watchdog = WatchdogConfig{NoRetireBound: 50_000, PollEvery: 1_000}
+
+	_, err := RunWorkload(cfg, w)
+	if err == nil {
+		t.Fatal("stalled run completed")
+	}
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("error %v is not a StallError", err)
+	}
+	if stall.Reason != StallNoRetire || stall.Bound != 50_000 {
+		t.Fatalf("stall = %+v, want no-retire bound 50000", stall)
+	}
+	// The diagnostic snapshot must localise the stall: a stuck ROB head
+	// whose claimed completion is far beyond the abort cycle.
+	s := stall.Snap
+	if s.Cycle == 0 || s.Retired < 8_000 {
+		t.Fatalf("snapshot not populated: %s", s)
+	}
+	if s.ROBOccupancy == 0 {
+		t.Fatalf("stalled ROB should be occupied: %s", s)
+	}
+	if s.ROBHeadReady <= s.Cycle {
+		t.Fatalf("ROB head claims ready %d before abort cycle %d", s.ROBHeadReady, s.Cycle)
+	}
+	if s.Cycle-s.LastRetireCycle <= 50_000 {
+		t.Fatalf("abort before the bound elapsed: %s", s)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not wrapped in a RunError", err)
+	}
+	if Retryable(err) {
+		t.Fatal("a deterministic stall must not be retryable")
+	}
+}
+
+func TestWatchdogCycleCeiling(t *testing.T) {
+	cfg := DefaultConfig()
+	w := testWorkload(t, &cfg)
+	cfg.SimInstrs = 100_000_000 // far beyond the ceiling
+	cfg.WarmupInstrs = 0
+	cfg.Watchdog = WatchdogConfig{MaxCycles: 20_000, PollEvery: 1_000}
+
+	_, err := RunWorkload(cfg, w)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want StallError, got %v", err)
+	}
+	if stall.Reason != StallCycleCeiling {
+		t.Fatalf("reason = %s, want %s", stall.Reason, StallCycleCeiling)
+	}
+}
+
+func TestRunTraceCancellationIsPrompt(t *testing.T) {
+	cfg := DefaultConfig()
+	w := testWorkload(t, &cfg)
+	cfg.SimInstrs = 2_000_000_000 // would run for minutes uncancelled
+	cfg.WarmupInstrs = 0
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	run, err := RunWorkloadCtx(ctx, cfg, w)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Mid-measurement interruption returns the partial statistics.
+	if run == nil || run.Core.Instructions == 0 {
+		t.Fatal("partial statistics missing on mid-measurement cancellation")
+	}
+}
+
+func TestDefaultWatchdogDoesNotFireOnHealthyRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	w := testWorkload(t, &cfg)
+	run, err := RunWorkload(cfg, w)
+	if err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	if run.Core.Instructions != cfg.SimInstrs {
+		t.Fatalf("retired %d, want %d", run.Core.Instructions, cfg.SimInstrs)
+	}
+}
+
+func TestInjectedMemLatencyDegradesIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	w := testWorkload(t, &cfg)
+	base, err := RunWorkload(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := cfg
+	slow.FaultInject = faultinject.New(faultinject.Config{ExtraMemLatency: 2_000})
+	degraded, err := RunWorkload(slow, w)
+	if err != nil {
+		t.Fatalf("latency-injected run must still terminate: %v", err)
+	}
+	if degraded.IPC() >= base.IPC() {
+		t.Fatalf("injected DRAM latency did not hurt IPC: %.4f vs %.4f", degraded.IPC(), base.IPC())
+	}
+}
+
+func TestRunMixCtxCancellation(t *testing.T) {
+	mc := DefaultMultiConfig()
+	mc.Cores = 2
+	mc.PerCore.WarmupInstrs = 0
+	mc.PerCore.SimInstrs = 2_000_000_000
+	m, err := NewMulti(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := []trace.Workload{trace.Seen()[0], trace.Seen()[1]}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := m.RunMixCtx(ctx, mix); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("multi-core cancellation took %v", elapsed)
+	}
+}
+
+func TestRunMixWatchdogCatchesStall(t *testing.T) {
+	mc := DefaultMultiConfig()
+	mc.Cores = 2
+	mc.PerCore.WarmupInstrs = 0
+	mc.PerCore.SimInstrs = 50_000
+	mc.PerCore.FaultInject = faultinject.New(faultinject.Config{StallRetireAfter: 4_000})
+	mc.PerCore.Watchdog = WatchdogConfig{NoRetireBound: 50_000}
+	m, err := NewMulti(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := []trace.Workload{trace.Seen()[0], trace.Seen()[1]}
+	_, err = m.RunMixCtx(context.Background(), mix)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want StallError, got %v", err)
+	}
+	if stall.Reason != StallNoRetire {
+		t.Fatalf("reason = %s", stall.Reason)
+	}
+}

@@ -8,12 +8,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/prefetch"
@@ -81,6 +83,55 @@ type Config struct {
 
 	WarmupInstrs uint64
 	SimInstrs    uint64
+
+	// Watchdog bounds forward progress in the run loop; its zero value
+	// enables the defaults (see WatchdogConfig).
+	Watchdog WatchdogConfig
+
+	// FaultInject, when non-nil, wires fault-injection hooks into the run
+	// (stalled loads, inflated memory latency, corrupted trace records);
+	// nil — the production value — injects nothing.
+	FaultInject *faultinject.Injector
+}
+
+// WatchdogConfig bounds a run's forward progress. A simulated core that
+// stops retiring is otherwise an infinite loop: sys.Core.Run() only returns
+// when the instruction budget retires, so one stall bug (a load whose ready
+// cycle never arrives, a walker deadlock) would hang an entire experiment
+// matrix. The watchdog turns that hang into a StallError with a diagnostic
+// snapshot.
+type WatchdogConfig struct {
+	// NoRetireBound aborts the run when no instruction has retired for
+	// this many cycles; 0 selects DefaultNoRetireBound. Even a fully
+	// MSHR-saturated DRAM-bound phase retires within a few thousand
+	// cycles, so the default has orders-of-magnitude headroom.
+	NoRetireBound uint64
+	// MaxCycles aborts the run when it exceeds this many cycles from the
+	// start of the current Run call; 0 means unlimited.
+	MaxCycles uint64
+	// PollEvery is the cycle grain at which cancellation and progress are
+	// checked; 0 selects DefaultPollEvery. Checks are O(1), so the poll
+	// cost is one comparison per PollEvery simulated cycles.
+	PollEvery uint64
+	// Disable turns the watchdog off entirely (cancellation is still
+	// honoured at the poll grain).
+	Disable bool
+}
+
+// Watchdog defaults.
+const (
+	DefaultNoRetireBound = uint64(1_000_000)
+	DefaultPollEvery     = uint64(2048)
+)
+
+func (w WatchdogConfig) withDefaults() WatchdogConfig {
+	if w.NoRetireBound == 0 {
+		w.NoRetireBound = DefaultNoRetireBound
+	}
+	if w.PollEvery == 0 {
+		w.PollEvery = DefaultPollEvery
+	}
+	return w
 }
 
 // DefaultConfig returns the Table IV single-core configuration with Berti
@@ -248,7 +299,7 @@ func newSystem(cfg Config, sharedLLC *cache.Cache, sharedDRAM *dram.DRAM) (*Syst
 	}
 	if sharedLLC != nil {
 		s.LLC = sharedLLC
-	} else if s.LLC, err = cache.New(cfg.LLC, s.DRAM); err != nil {
+	} else if s.LLC, err = cache.New(cfg.LLC, cfg.FaultInject.WrapLevel(s.DRAM)); err != nil {
 		return nil, err
 	}
 
@@ -402,6 +453,12 @@ func (s *System) demandAccess(pc, va uint64, cycle uint64, kind mem.AccessType) 
 	req := &cache.Request{PA: pa, VA: mem.VAddr(va), PC: mem.VAddr(pc), Type: kind}
 	ready := s.L1D.Access(req, res.Ready)
 	hit := s.L1D.Stats.DemandMisses == missesBefore
+	if kind == mem.Load {
+		// Fault injection: an artificial retire stall pushes the load's
+		// completion out so the ROB head never unblocks (no-op when no
+		// injector is configured).
+		ready = s.cfg.FaultInject.LoadReady(s.Core.RetiredTotal(), cycle, ready)
+	}
 
 	// First-touch tracking for the FirstPageAccess feature.
 	page := va >> mem.PageBits
@@ -580,29 +637,100 @@ func (s *System) Collect(name, suite string) *stats.Run {
 	}
 }
 
+// Snapshot captures the system's forward-progress diagnostics: the ROB
+// head, MSHR occupancy per level, and in-flight page walks at the current
+// cycle. StallError embeds one so a stalled run can be localised post-hoc.
+func (s *System) Snapshot() Snapshot {
+	cycle := s.Core.Cycle()
+	pc, ready, _ := s.Core.ROBHead()
+	return Snapshot{
+		Cycle:           cycle,
+		Retired:         s.Core.RetiredTotal(),
+		LastRetireCycle: s.Core.LastRetireCycle(),
+		ROBOccupancy:    s.Core.ROBCount(),
+		ROBSize:         s.cfg.Core.ROBSize,
+		ROBHeadPC:       pc,
+		ROBHeadReady:    ready,
+		L1DMSHRs:        s.L1D.OutstandingMisses(cycle),
+		L2CMSHRs:        s.L2C.OutstandingMisses(cycle),
+		LLCMSHRs:        s.LLC.OutstandingMisses(cycle),
+		InflightWalks:   s.MMU.PTW.Inflight(cycle),
+	}
+}
+
+// Run drives the core until its attached budget retires, honouring ctx and
+// the configured watchdog. Cancellation and progress are checked every
+// WatchdogConfig.PollEvery cycles, so teardown latency is bounded by the
+// poll grain, not the instruction budget. It returns nil on completion,
+// ctx.Err() on cancellation, or a *StallError when a bound trips.
+func (s *System) Run(ctx context.Context) error {
+	wd := s.cfg.Watchdog.withDefaults()
+	start := s.Core.Cycle()
+	for !s.Core.StepCycles(wd.PollEvery) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if wd.Disable {
+			continue
+		}
+		cycle := s.Core.Cycle()
+		if last := s.Core.LastRetireCycle(); cycle-last > wd.NoRetireBound {
+			return &StallError{Reason: StallNoRetire, Bound: wd.NoRetireBound, Snap: s.Snapshot()}
+		}
+		if wd.MaxCycles > 0 && cycle-start > wd.MaxCycles {
+			return &StallError{Reason: StallCycleCeiling, Bound: wd.MaxCycles, Snap: s.Snapshot()}
+		}
+	}
+	return nil
+}
+
 // RunWorkload builds a fresh system from cfg, warms it up on the workload,
 // measures SimInstrs instructions and returns the statistics.
 func RunWorkload(cfg Config, w trace.Workload) (*stats.Run, error) {
+	return RunWorkloadCtx(context.Background(), cfg, w)
+}
+
+// RunWorkloadCtx is RunWorkload under a context: a cancelled or expired ctx
+// tears the run down within the watchdog's poll grain.
+func RunWorkloadCtx(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run, error) {
 	reader, err := w.NewReader()
 	if err != nil {
-		return nil, err
+		return nil, &RunError{Workload: w.Name, Stage: "setup", Err: err}
 	}
-	return RunTrace(cfg, w.Name, w.Suite, reader)
+	return RunTraceCtx(ctx, cfg, w.Name, w.Suite, reader)
 }
 
 // RunTrace runs an arbitrary instruction stream (e.g. a recorded trace
 // file) through a fresh system: warmup, stats reset, measurement.
 func RunTrace(cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
+	return RunTraceCtx(context.Background(), cfg, name, suite, reader)
+}
+
+// RunTraceCtx is RunTrace under a context. Failures come back as *RunError
+// wrapping the cause (*StallError for watchdog aborts, ctx.Err() for
+// cancellation). When the measurement phase is interrupted, the statistics
+// collected so far are returned alongside the error so interactive callers
+// can report partial results; they are not comparable to a complete run and
+// must not enter a matrix.
+func RunTraceCtx(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
+	if err := cfg.FaultInject.BeginAttempt(); err != nil {
+		return nil, &RunError{Workload: name, Stage: "setup", Err: err}
+	}
 	sys, err := New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, &RunError{Workload: name, Stage: "build", Err: err}
 	}
+	reader = cfg.FaultInject.WrapReader(reader)
 	if cfg.WarmupInstrs > 0 {
 		sys.Core.Attach(reader, cfg.WarmupInstrs)
-		sys.Core.Run()
+		if err := sys.Run(ctx); err != nil {
+			return nil, &RunError{Workload: name, Stage: "warmup", Err: err}
+		}
 		sys.ResetStats()
 	}
 	sys.Core.Attach(reader, cfg.SimInstrs)
-	sys.Core.Run()
+	if err := sys.Run(ctx); err != nil {
+		return sys.Collect(name, suite), &RunError{Workload: name, Stage: "measure", Err: err}
+	}
 	return sys.Collect(name, suite), nil
 }

@@ -41,7 +41,13 @@ func BootstrapGeomeanCI(xs []float64, resamples int, conf float64, seed uint64) 
 		for i := range sample {
 			sample[i] = xs[next()%uint64(len(xs))]
 		}
-		gms[r] = MustGeomean(sample)
+		g, gerr := Geomean(sample)
+		if gerr != nil {
+			// Unreachable (inputs validated positive above), but propagate
+			// rather than panic: library code must not crash on bad input.
+			return 0, 0, gerr
+		}
+		gms[r] = g
 	}
 	alpha := (1 - conf) / 2
 	return Percentile(gms, alpha*100), Percentile(gms, (1-alpha)*100), nil

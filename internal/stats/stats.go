@@ -209,15 +209,6 @@ func Geomean(xs []float64) (float64, error) {
 	return math.Exp(sum / float64(len(xs))), nil
 }
 
-// MustGeomean is Geomean for callers that construct the slice themselves.
-func MustGeomean(xs []float64) float64 {
-	g, err := Geomean(xs)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // WeightedGeomean computes the weighted geometric mean: exp(Σ w·ln x / Σ w).
 func WeightedGeomean(xs, weights []float64) (float64, error) {
 	if len(xs) == 0 || len(xs) != len(weights) {

@@ -163,6 +163,16 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// MustGeomean is a test-only helper: the library API only exposes the
+// error-returning Geomean (no panicking paths in library code).
+func MustGeomean(xs []float64) float64 {
+	g, err := Geomean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // Property: geomean lies between min and max, and is scale-equivariant.
 func TestGeomeanProperties(t *testing.T) {
 	between := func(a, b, c uint16) bool {

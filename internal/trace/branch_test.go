@@ -27,7 +27,11 @@ func TestTakenFlagRoundTrip(t *testing.T) {
 }
 
 func TestGeneratorEmitsConditionalBranches(t *testing.T) {
-	g, err := NewGen(family("qmm", 5))
+	cfg, err := FamilyConfig("qmm", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +57,10 @@ func TestGeneratorEmitsConditionalBranches(t *testing.T) {
 }
 
 func TestHardBranchFracIncreasesEntropy(t *testing.T) {
-	easy := family("stream", 3) // HardBranchFrac 0
+	easy, err := FamilyConfig("stream", 3) // HardBranchFrac 0
+	if err != nil {
+		t.Fatal(err)
+	}
 	hard := easy
 	hard.HardBranchFrac = 0.5
 

@@ -78,7 +78,10 @@ func TestGenValidation(t *testing.T) {
 }
 
 func TestGenDeterminism(t *testing.T) {
-	cfg := family("graph", 42)
+	cfg, err := FamilyConfig("graph", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g1, err := NewGen(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +105,10 @@ func TestGenDeterminism(t *testing.T) {
 }
 
 func TestGenEmitsAllKinds(t *testing.T) {
-	cfg := family("qmm", 7)
+	cfg, err := FamilyConfig("qmm", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g, err := NewGen(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +131,11 @@ func TestGenEmitsAllKinds(t *testing.T) {
 }
 
 func TestStreamFamilyMarchesAcrossPages(t *testing.T) {
-	g, err := NewGen(family("stream", 9))
+	cfg, err := FamilyConfig("stream", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +151,11 @@ func TestStreamFamilyMarchesAcrossPages(t *testing.T) {
 }
 
 func TestHotFamilyStaysSmall(t *testing.T) {
-	g, err := NewGen(family("hot", 3))
+	cfg, err := FamilyConfig("hot", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,6 +167,33 @@ func TestHotFamilyStaysSmall(t *testing.T) {
 	}
 	if len(pages) > 40 {
 		t.Fatalf("hot family touched %d pages; should be cache-resident", len(pages))
+	}
+}
+
+func TestFamilyConfigUnknownReturnsError(t *testing.T) {
+	if _, err := FamilyConfig("no-such-family", 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestPlanFamiliesKnown(t *testing.T) {
+	// buildSet silently skips unknown families rather than panicking at
+	// init; this invariant check keeps that path unreachable.
+	known := map[string]bool{}
+	for _, f := range Families() {
+		known[f] = true
+		if _, err := FamilyConfig(f, 1); err != nil {
+			t.Fatalf("listed family %q rejected: %v", f, err)
+		}
+	}
+	for _, seen := range []bool{true, false} {
+		for _, p := range plans(seen) {
+			for _, fam := range p.families {
+				if !known[fam.kind] {
+					t.Fatalf("plan for suite %s names unknown family %q", p.suite, fam.kind)
+				}
+			}
+		}
 	}
 }
 

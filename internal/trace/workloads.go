@@ -33,9 +33,11 @@ func hashName(name string, salt uint64) uint64 {
 	return h ^ salt*0x9E3779B97F4A7C15
 }
 
-// family builds a GenConfig for the named pattern family, drawing
-// parameters deterministically from the workload's seed.
-func family(kind string, seed uint64) GenConfig {
+// FamilyConfig builds a GenConfig for the named pattern family, drawing
+// parameters deterministically from the seed. It errors on an unknown
+// family name instead of panicking, so callers constructing workloads from
+// external input (config files, flags) get a diagnosable failure.
+func FamilyConfig(kind string, seed uint64) (GenConfig, error) {
 	r := rng{s: seed}
 	cfg := GenConfig{Seed: r.next()}
 	pick := func(lo, hi uint64) uint64 { return lo + r.nextN(hi-lo+1) }
@@ -158,9 +160,14 @@ func family(kind string, seed uint64) GenConfig {
 		}}
 		cfg.CodePages = 1
 	default:
-		panic(fmt.Sprintf("trace: unknown family %q", kind))
+		return GenConfig{}, fmt.Errorf("trace: unknown family %q", kind)
 	}
-	return cfg
+	return cfg, nil
+}
+
+// Families lists the pattern families FamilyConfig accepts.
+func Families() []string {
+	return []string{"stream", "pagehop", "chase", "graph", "parsec", "phased", "qmm", "hot"}
 }
 
 // suitePlan describes how many workloads of each family a suite gets.
@@ -227,6 +234,13 @@ func buildSet(seen bool) []Workload {
 				}
 				name := fmt.Sprintf("%s.%s_%s%02d", p.suite, fam.kind, tag, i)
 				seed := hashName(name, salt)
+				cfg, err := FamilyConfig(fam.kind, seed)
+				if err != nil {
+					// Invariant: plans() only names families FamilyConfig
+					// knows (asserted by TestPlanFamiliesKnown); skipping is
+					// safer than panicking in package init.
+					continue
+				}
 				wr := rng{s: seed ^ 0xABCD}
 				out = append(out, Workload{
 					Name:            name,
@@ -234,7 +248,7 @@ func buildSet(seen bool) []Workload {
 					Seen:            seen,
 					MemoryIntensive: true,
 					Weight:          0.05 + 0.95*wr.nextFloat(),
-					Config:          family(fam.kind, seed),
+					Config:          cfg,
 				})
 			}
 		}
@@ -249,6 +263,10 @@ func buildNonIntensive() []Workload {
 		for i := 0; i < 6; i++ {
 			name := fmt.Sprintf("%s.hot_%02d", s, i)
 			seed := hashName(name, 3)
+			cfg, err := FamilyConfig("hot", seed)
+			if err != nil {
+				continue // unreachable: "hot" is a known family
+			}
 			wr := rng{s: seed ^ 0xABCD}
 			out = append(out, Workload{
 				Name:            name,
@@ -256,7 +274,7 @@ func buildNonIntensive() []Workload {
 				Seen:            false,
 				MemoryIntensive: false,
 				Weight:          0.05 + 0.95*wr.nextFloat(),
-				Config:          family("hot", seed),
+				Config:          cfg,
 			})
 		}
 	}
