@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test race vet check cover bench golden
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,20 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# cover writes cover.out and prints the total; CI enforces the floor.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# bench runs one iteration of every benchmark (smoke, not measurement).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# golden re-records the golden metric snapshots after a deliberate
+# behavioural change; review the diff before committing.
+golden:
+	$(GO) test ./internal/sim -run TestGoldenSnapshots -update
 
 # check is the CI gate: vet, build, and the full suite under the race
 # detector (the resilience tests exercise the worker pool concurrently).

@@ -398,3 +398,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
+
+// BenchmarkTracerOverhead quantifies the cost of the observability layer on
+// the full simulation path. Run with -benchmem: the disabled case must show
+// the same allocation count as the enabled one (the tracer pre-allocates its
+// ring; Emit never allocates), and wall-clock overhead should be noise-level.
+func BenchmarkTracerOverhead(b *testing.B) {
+	w, ok := trace.ByName("spec.pagehop_s00")
+	if !ok {
+		b.Fatal("workload missing")
+	}
+	for _, bc := range []struct {
+		name string
+		cap  int
+	}{{"disabled", 0}, {"enabled", 1 << 14}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Policy = sim.PolicyDripper
+			cfg.WarmupInstrs = 0
+			cfg.SimInstrs = 50_000
+			cfg.TraceCapacity = bc.cap
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunWorkload(cfg, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

@@ -13,8 +13,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/experiments"
@@ -23,18 +26,42 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
-		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
-		instrs  = flag.Uint64("instrs", 100_000, "measured instructions per workload")
-		maxWl   = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
-		par     = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
-		cores   = flag.Int("cores", 8, "cores for fig19")
-		mixes   = flag.Int("mixes", 20, "mixes for fig19")
-		pf      = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
-		asJSON  = flag.Bool("json", false, "emit results as JSON instead of text")
-		timeout = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30m (0 = none); completed experiments are kept on expiry")
+		exp      = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
+		warmup   = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
+		instrs   = flag.Uint64("instrs", 100_000, "measured instructions per workload")
+		maxWl    = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
+		par      = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		cores    = flag.Int("cores", 8, "cores for fig19")
+		mixes    = flag.Int("mixes", 20, "mixes for fig19")
+		pf       = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30m (0 = none); completed experiments are kept on expiry")
+		outDir   = flag.String("out-dir", "", "write each experiment's report to <out-dir>/<name>.{txt,json} instead of stdout")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the campaign to this file")
 	)
 	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	// Ctrl-C / SIGTERM (and -timeout) cancel the campaign context; running
 	// matrices observe it at the simulator's watchdog poll grain, so
@@ -55,13 +82,26 @@ func main() {
 	}
 
 	run := func(name string) error {
+		var out io.Writer = os.Stdout
+		if *outDir != "" {
+			ext := ".txt"
+			if *asJSON {
+				ext = ".json"
+			}
+			f, err := os.Create(filepath.Join(*outDir, name+ext))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
 		switch name {
 		case "fig2":
 			r, err := experiments.Fig2(o, nil)
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig3":
@@ -69,7 +109,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig4":
@@ -77,7 +117,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig9":
@@ -85,7 +125,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig10":
@@ -93,7 +133,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig11":
@@ -101,7 +141,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig12":
@@ -109,7 +149,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig13":
@@ -117,7 +157,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig14":
@@ -125,7 +165,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig15":
@@ -133,7 +173,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig16":
@@ -141,7 +181,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig17":
@@ -149,7 +189,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig18":
@@ -160,7 +200,7 @@ func main() {
 			if !*asJSON {
 				fmt.Println("Fig. 18 (unseen workloads):")
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "table2":
@@ -172,7 +212,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "table3":
@@ -180,7 +220,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "table5":
@@ -188,7 +228,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "sweep-epoch", "sweep-stlb", "sweep-degree", "sweep-vub":
@@ -202,7 +242,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "shapes":
@@ -210,7 +250,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		case "fig19":
@@ -218,7 +258,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if err := experiments.Report(os.Stdout, name, r, *asJSON); err != nil {
+			if err := experiments.Report(out, name, r, *asJSON); err != nil {
 				return err
 			}
 		default:
@@ -233,21 +273,30 @@ func main() {
 			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 			"table3", "table5", "fig19"}
 	}
+	// os.Exit skips defers, so flush the CPU profile explicitly on the
+	// error paths; completed profiles from a partial campaign are still
+	// useful.
+	exit := func(code int) {
+		if *pprofOut != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
 	for i, n := range names {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "experiments: interrupted (%v); %d/%d experiments completed above\n",
 				ctx.Err(), i, len(names))
-			os.Exit(130)
+			exit(130)
 		}
 		fmt.Printf("==> %s (workloads<=%d, %d+%d instrs)\n", n, o.MaxWorkloads, o.Warmup, o.Instrs)
 		if err := run(n); err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintf(os.Stderr, "experiments: %s interrupted (%v); %d/%d experiments completed above\n",
 					n, err, i, len(names))
-				os.Exit(130)
+				exit(130)
 			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println()
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/sim"
@@ -35,6 +36,10 @@ func main() {
 		traceFile  = flag.String("trace", "", "run a recorded .pgct trace file instead of a named workload")
 		list       = flag.Bool("list", false, "list all workloads and exit")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 5m (0 = none); partial statistics are printed on expiry or Ctrl-C")
+		metricsOut = flag.String("metrics-out", "", "write the full metrics snapshot as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write the event trace as JSONL to this file (enables the tracer)")
+		traceCap   = flag.Int("trace-cap", 1<<16, "event-trace ring-buffer capacity (with -trace-out)")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -71,8 +76,28 @@ func main() {
 		cfg.VMem.LargePages = true
 		cfg.VMem.LargePageFraction = 0.5
 	}
+	if *traceOut != "" {
+		cfg.TraceCapacity = *traceCap
+	}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var run *stats.Run
+	var sys *sim.System
 	var err error
 	if *traceFile != "" {
 		f, ferr := os.Open(*traceFile)
@@ -86,15 +111,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", rerr)
 			os.Exit(1)
 		}
-		run, err = sim.RunTraceCtx(ctx, cfg, *traceFile, "file", trace.NewSliceReader(instrs))
+		run, sys, err = sim.RunTraceSystem(ctx, cfg, *traceFile, "file", trace.NewSliceReader(instrs))
 	} else {
 		w, ok := trace.ByName(*workload)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "pgcsim: unknown workload %q (try -list)\n", *workload)
 			os.Exit(1)
 		}
-		run, err = sim.RunWorkloadCtx(ctx, cfg, w)
+		reader, rerr := w.NewReader()
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", rerr)
+			os.Exit(1)
+		}
+		run, sys, err = sim.RunTraceSystem(ctx, cfg, w.Name, w.Suite, reader)
 	}
+	// Metrics and trace artifacts are written even for interrupted runs —
+	// a partial snapshot is exactly what post-hoc stall diagnosis needs.
+	writeArtifacts(sys, *metricsOut, *traceOut)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pgcsim: %v\n", err)
 		// An interrupted measurement still returns the statistics collected
@@ -103,9 +136,41 @@ func main() {
 			fmt.Printf("-- partial results (interrupted mid-measurement) --\n")
 			report(run)
 		}
+		if *pprofOut != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 	report(run)
+}
+
+// writeArtifacts exports the system's metrics snapshot and event trace to
+// the requested files. Failures are reported but not fatal: the run's
+// results have already been computed.
+func writeArtifacts(sys *sim.System, metricsOut, traceOut string) {
+	if sys == nil {
+		return
+	}
+	if metricsOut != "" {
+		if f, err := os.Create(metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: metrics-out: %v\n", err)
+		} else {
+			if err := sys.Snapshot().WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pgcsim: metrics-out: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	if traceOut != "" {
+		if f, err := os.Create(traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: trace-out: %v\n", err)
+		} else {
+			if err := sys.Tracer.WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pgcsim: trace-out: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 }
 
 func report(r *stats.Run) {

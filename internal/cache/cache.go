@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -150,6 +151,11 @@ type Cache struct {
 	// level; the merge-usefulness test compares against it.
 	missLatEWMA uint64
 
+	// mshrHist samples MSHR occupancy once per access when the level is
+	// registered in a metrics registry; nil (the unregistered state) makes
+	// Observe a single branch.
+	mshrHist *metrics.Histogram
+
 	outstanding map[uint64]*inflight // line ID → in-flight fill
 
 	// Stats is exported by pointer so the simulator aggregates it directly.
@@ -255,6 +261,7 @@ func (c *Cache) Access(req *Request, cycle uint64) uint64 {
 
 func (c *Cache) access(req *Request, cycle uint64) uint64 {
 	c.gcOutstanding(cycle)
+	c.mshrHist.Observe(uint64(len(c.outstanding)))
 	demand := req.Type.IsDemand()
 	if demand {
 		c.Stats.DemandAccesses++
@@ -521,6 +528,16 @@ func (c *Cache) accessWriteback(req *Request, cycle uint64) uint64 {
 	// Non-inclusive hierarchy: writebacks that miss are forwarded down.
 	low := *req
 	return c.lower.Access(&low, cycle+c.cfg.Latency)
+}
+
+// RegisterMetrics exports the level's statistics block, its MSHR-occupancy
+// distribution and its miss-latency estimate into a metrics registry under
+// prefix (conventionally the configured name: "l1d", "llc", ...).
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	c.Stats.RegisterMetrics(r, prefix)
+	c.mshrHist = r.MustHistogram(prefix+".mshr_occupancy",
+		[]uint64{0, 1, 2, 4, 8, 16, 32, 64, 128})
+	r.GaugeFunc(prefix+".miss_latency_ewma", func() uint64 { return c.missLatEWMA })
 }
 
 // Contains reports whether the line holding pa is resident (test helper and

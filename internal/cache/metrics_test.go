@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	lower := &fakeLower{latency: 100}
+	c := smallCache(t, lower)
+	r := metrics.NewRegistry()
+	c.RegisterMetrics(r, "l1d")
+
+	c.Access(load(0x1000), 0)
+	c.Access(load(0x1000), 500)
+	c.Access(load(0x2000), 1000)
+
+	if v, ok := r.Value("l1d.demand_accesses"); !ok || v != c.Stats.DemandAccesses {
+		t.Fatalf("l1d.demand_accesses = %d, %v; stats say %d", v, ok, c.Stats.DemandAccesses)
+	}
+	if v, _ := r.Value("l1d.demand_misses"); v != 2 {
+		t.Fatalf("l1d.demand_misses = %d", v)
+	}
+	snap := r.Snapshot()
+	hv, ok := snap.Histogram("l1d.mshr_occupancy")
+	if !ok || hv.Count != 3 {
+		t.Fatalf("mshr_occupancy sampled %d times (ok=%v), want one per access", hv.Count, ok)
+	}
+	if _, ok := r.Value("l1d.miss_latency_ewma"); !ok {
+		t.Fatal("miss_latency_ewma gauge missing")
+	}
+}
+
+func TestRegisterMetricsPrefetchCounters(t *testing.T) {
+	lower := &fakeLower{latency: 10}
+	c := smallCache(t, lower)
+	r := metrics.NewRegistry()
+	c.RegisterMetrics(r, "x")
+	c.Access(&Request{PA: 0x4000, VA: 0x4000, Type: mem.Prefetch, IsPageCross: true}, 0)
+	if v, _ := r.Value("x.prefetch_fills"); v != 1 {
+		t.Fatalf("prefetch_fills = %d", v)
+	}
+	if v, _ := r.Value("x.pgc_issued"); v != 1 {
+		t.Fatalf("pgc_issued = %d", v)
+	}
+}

@@ -1,0 +1,24 @@
+package core
+
+import "repro/internal/metrics"
+
+// RegisterMetrics exports the filter's decision and training counters plus
+// its live threshold state into a metrics registry under prefix ("filter").
+// FilterPolicy inherits this through embedding, so the simulator can
+// register any filter-backed page-cross policy uniformly.
+func (f *Filter) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.CounterFunc(prefix+".issued", func() uint64 { return f.Issued })
+	r.CounterFunc(prefix+".discarded", func() uint64 { return f.Discarded })
+	r.CounterFunc(prefix+".positive_trainings", func() uint64 { return f.PositiveTrainings })
+	r.CounterFunc(prefix+".negative_trainings", func() uint64 { return f.NegativeTrainings })
+	r.CounterFunc(prefix+".false_negative_hits", func() uint64 { return f.FalseNegativeHits })
+	// The live Ta ladder position and kill switch; the threshold itself can
+	// be negative, so the (always non-negative) ladder index is exported.
+	r.GaugeFunc(prefix+".threshold_level", func() uint64 { return uint64(f.level) })
+	r.GaugeFunc(prefix+".disabled", func() uint64 {
+		if f.disabled {
+			return 1
+		}
+		return 0
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -272,6 +273,26 @@ func (c *Core) step() {
 	c.Stats.ROBOccupancy += uint64(c.count)
 	c.Stats.Cycles++
 	c.cycle++
+}
+
+// RegisterMetrics exports the core's statistics and live pipeline state
+// into a metrics registry under prefix ("core"). Counters are views over
+// Stats (reset with it); gauges sample the pipeline at snapshot time.
+func (c *Core) RegisterMetrics(r *metrics.Registry, prefix string) {
+	c.Stats.RegisterMetrics(r, prefix)
+	r.GaugeFunc(prefix+".cycle", func() uint64 { return c.cycle })
+	r.GaugeFunc(prefix+".retired_total", func() uint64 { return c.retiredTotal })
+	r.GaugeFunc(prefix+".last_retire_cycle", func() uint64 { return c.lastRetire })
+	r.GaugeFunc(prefix+".rob_occupancy", func() uint64 { return uint64(c.count) })
+	r.GaugeFunc(prefix+".rob_size", func() uint64 { return uint64(c.cfg.ROBSize) })
+	r.GaugeFunc(prefix+".rob_head_pc", func() uint64 {
+		pc, _, _ := c.ROBHead()
+		return pc
+	})
+	r.GaugeFunc(prefix+".rob_head_ready", func() uint64 {
+		_, ready, _ := c.ROBHead()
+		return ready
+	})
 }
 
 // RetiredTotal returns the monotonic count of instructions retired over the

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // Config parameterises the memory controller. All times are core cycles
@@ -81,6 +82,10 @@ type DRAM struct {
 	cfg   Config
 	banks []bank
 	Stats Stats
+
+	// latHist samples per-access latency (ready − arrival, queueing
+	// included) when the controller is registered in a metrics registry.
+	latHist *metrics.Histogram
 }
 
 // New builds a controller.
@@ -156,5 +161,20 @@ func (d *DRAM) Access(req *cache.Request, cycle uint64) uint64 {
 		b.anyFree = start + busy
 	}
 	d.Stats.TotalDelay += ready - cycle
+	d.latHist.Observe(ready - cycle)
 	return ready
+}
+
+// RegisterMetrics exports the controller's counters and its access-latency
+// distribution into a metrics registry under prefix ("dram").
+func (d *DRAM) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.CounterFunc(prefix+".reads", func() uint64 { return d.Stats.Reads })
+	r.CounterFunc(prefix+".writes", func() uint64 { return d.Stats.Writes })
+	r.CounterFunc(prefix+".row_hits", func() uint64 { return d.Stats.RowHits })
+	r.CounterFunc(prefix+".row_misses", func() uint64 { return d.Stats.RowMisses })
+	r.CounterFunc(prefix+".total_delay", func() uint64 { return d.Stats.TotalDelay })
+	// Buckets span a row hit under no contention (~105 cycles with Table IV
+	// timings) out to heavily queued accesses.
+	d.latHist = r.MustHistogram(prefix+".latency",
+		[]uint64{110, 140, 180, 230, 300, 400, 600, 1000, 2000, 5000})
 }

@@ -1,0 +1,44 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	d := newDRAM(t)
+	r := metrics.NewRegistry()
+	d.RegisterMetrics(r, "dram")
+
+	first := d.Access(&cache.Request{PA: 0x1000, Type: mem.Load}, 0)
+	d.Access(&cache.Request{PA: 0x1000, Type: mem.Load}, first+1000)
+	d.Access(&cache.Request{PA: 0x9000_0000, Type: mem.Prefetch}, 0)
+
+	v := func(name string) uint64 {
+		x, ok := r.Value(name)
+		if !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+		return x
+	}
+	if v("dram.reads") != d.Stats.Reads {
+		t.Fatalf("dram.reads = %d, stats %d", v("dram.reads"), d.Stats.Reads)
+	}
+	if v("dram.row_hits") == 0 {
+		t.Fatal("expected at least one row hit")
+	}
+	if v("dram.row_misses") == 0 {
+		t.Fatal("expected at least one row miss")
+	}
+	snap := r.Snapshot()
+	hv, ok := snap.Histogram("dram.latency")
+	if !ok || hv.Count != 3 {
+		t.Fatalf("dram.latency sampled %d times (ok=%v), want one per access", hv.Count, ok)
+	}
+	if hv.Mean() == 0 {
+		t.Fatal("latency histogram mean is zero")
+	}
+}

@@ -1,0 +1,418 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCounterMonotonic is a property test: under any sequence of Inc/Add the
+// counter equals the running sum and never decreases.
+func TestCounterMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c Counter
+	var want, prev uint64
+	for i := 0; i < 10_000; i++ {
+		if rng.Intn(2) == 0 {
+			c.Inc()
+			want++
+		} else {
+			n := uint64(rng.Intn(1000))
+			c.Add(n)
+			want += n
+		}
+		if got := c.Value(); got != want {
+			t.Fatalf("step %d: counter = %d, want %d", i, got, want)
+		}
+		if c.Value() < prev {
+			t.Fatalf("step %d: counter decreased %d -> %d", i, prev, c.Value())
+		}
+		prev = c.Value()
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after Reset: %d", c.Value())
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	for _, bad := range [][]uint64{nil, {}, {5, 5}, {5, 3}, {1, 2, 2}} {
+		if _, err := NewHistogram(bad); err == nil {
+			t.Errorf("NewHistogram(%v): expected error", bad)
+		}
+	}
+	if _, err := NewHistogram([]uint64{0, 1, 10}); err != nil {
+		t.Fatalf("valid bounds rejected: %v", err)
+	}
+}
+
+// TestHistogramInvariants is a property test against a reference bucketing:
+// total count equals the sum of bucket counts, the sum equals the sample
+// total, and every sample lands in the first bucket whose bound admits it.
+func TestHistogramInvariants(t *testing.T) {
+	bounds := []uint64{0, 3, 10, 100, 1000}
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]uint64, len(bounds)+1)
+	rng := rand.New(rand.NewSource(2))
+	var sum uint64
+	for i := 0; i < 50_000; i++ {
+		v := uint64(rng.Intn(2000))
+		h.Observe(v)
+		sum += v
+		slot := len(bounds)
+		for j, b := range bounds {
+			if v <= b {
+				slot = j
+				break
+			}
+		}
+		ref[slot]++
+	}
+	hv := h.value()
+	var bucketTotal uint64
+	for _, c := range hv.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != hv.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, hv.Count)
+	}
+	if hv.Sum != sum {
+		t.Fatalf("sum %d != %d", hv.Sum, sum)
+	}
+	for i, want := range ref {
+		if hv.Counts[i] != want {
+			t.Fatalf("bucket %d: %d, want %d", i, hv.Counts[i], want)
+		}
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("after Reset: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(10, 2, 8)
+	if len(b) != 8 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+	if _, err := NewHistogram(ExpBounds(0, 0, 5)); err != nil {
+		t.Fatalf("degenerate ExpBounds args must still be valid: %v", err)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.GaugeFunc("x", func() uint64 { return 0 })
+}
+
+func TestRegistryValueAndReset(t *testing.T) {
+	r := NewRegistry()
+	owned := r.Counter("owned")
+	backing := uint64(41)
+	r.CounterFunc("view", func() uint64 { return backing })
+	r.GaugeFunc("gauge", func() uint64 { return 7 })
+	h := r.MustHistogram("hist", []uint64{10})
+	owned.Add(5)
+	backing++
+	h.Observe(3)
+
+	for _, tc := range []struct {
+		name string
+		want uint64
+	}{{"owned", 5}, {"view", 42}, {"gauge", 7}} {
+		got, ok := r.Value(tc.name)
+		if !ok || got != tc.want {
+			t.Fatalf("Value(%q) = %d, %v; want %d, true", tc.name, got, ok, tc.want)
+		}
+	}
+	if _, ok := r.Value("hist"); ok {
+		t.Fatal("Value on a histogram must report false")
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("Value on a missing name must report false")
+	}
+
+	r.Reset()
+	if owned.Value() != 0 || h.Count() != 0 {
+		t.Fatal("Reset did not zero owned metrics")
+	}
+	if v, _ := r.Value("view"); v != 42 {
+		t.Fatalf("Reset must not touch function-backed views: %d", v)
+	}
+}
+
+// TestSnapshotStableOrder locks the determinism guarantee: registries built
+// in different insertion orders with the same contents produce byte-identical
+// snapshot JSON.
+func TestSnapshotStableOrder(t *testing.T) {
+	build := func(names []string) Snapshot {
+		r := NewRegistry()
+		for _, n := range names {
+			if strings.HasPrefix(n, "h.") {
+				r.MustHistogram(n, []uint64{1, 2}).Observe(1)
+			} else {
+				r.Counter(n).Add(3)
+			}
+		}
+		return r.Snapshot()
+	}
+	a := build([]string{"z", "a", "h.x", "m"})
+	b := build([]string{"h.x", "m", "a", "z"})
+	aj, err := a.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("snapshots differ by insertion order:\n%s\n--\n%s", aj, bj)
+	}
+	for i := 1; i < len(a.Metrics); i++ {
+		if a.Metrics[i-1].Name >= a.Metrics[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", a.Metrics[i-1].Name, a.Metrics[i].Name)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(9)
+	r.GaugeFunc("g", func() uint64 { return 4 })
+	h := r.MustHistogram("h", []uint64{1, 10, 100})
+	h.Observe(0)
+	h.Observe(50)
+	h.Observe(5000)
+	snap := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := back.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bj)+"\n" != buf.String() {
+		t.Fatalf("round trip not identical:\n%s\n--\n%s", buf.String(), bj)
+	}
+	if v, ok := back.Value("c"); !ok || v != 9 {
+		t.Fatalf("Value(c) = %d, %v", v, ok)
+	}
+	hv, ok := back.Histogram("h")
+	if !ok || hv.Count != 3 || hv.Sum != 5050 {
+		t.Fatalf("Histogram(h) = %+v, %v", hv, ok)
+	}
+	if got := hv.Mean(); got < 1683 || got > 1684 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestSnapshotCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.MustHistogram("h", []uint64{5}).Observe(3)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"name,kind,value",
+		"c,counter,2",
+		"h.count,histogram,1",
+		"h.sum,histogram,3",
+		"h.bucket.le5,histogram,1",
+		"h.bucket.+inf,histogram,0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	mk := func(f func(r *Registry)) Snapshot {
+		r := NewRegistry()
+		f(r)
+		return r.Snapshot()
+	}
+	old := mk(func(r *Registry) {
+		r.Counter("same").Add(1)
+		r.Counter("drift").Add(10)
+		r.Counter("gone").Add(3)
+		r.MustHistogram("h", []uint64{5}).Observe(1)
+	})
+	new_ := mk(func(r *Registry) {
+		r.Counter("same").Add(1)
+		r.Counter("drift").Add(12)
+		r.Counter("added").Add(8)
+		h := r.MustHistogram("h", []uint64{5})
+		h.Observe(1)
+		h.Observe(100)
+	})
+
+	if d := Diff(old, old); len(d) != 0 {
+		t.Fatalf("self diff not empty: %v", d)
+	}
+	d := Diff(old, new_)
+	byName := map[string]bool{}
+	for _, e := range d {
+		byName[e.Name] = true
+		if e.Name == "same" {
+			t.Fatalf("unchanged metric in diff: %v", e)
+		}
+	}
+	for _, want := range []string{"drift", "gone", "added", "h", "h.bucket[1]"} {
+		if !byName[want] {
+			t.Errorf("diff missing entry for %q: %v", want, d)
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	if _, err := NewTracer(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	tr, err := NewTracer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(i, EvTLBMiss, i, 0)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	if tr.KindCount(EvTLBMiss) != 10 || tr.KindCount(EvWalkEnd) != 0 {
+		t.Fatalf("KindCount wrong: %d / %d", tr.KindCount(EvTLBMiss), tr.KindCount(EvWalkEnd))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d: cycle %d, want %d (oldest-first)", i, e.Cycle, want)
+		}
+	}
+	tr.Reset()
+	if tr.Total() != 0 || len(tr.Events()) != 0 {
+		t.Fatal("Reset left state")
+	}
+}
+
+func TestTracerNilDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.Emit(1, EvWalkBegin, 2, 3)
+	tr.Reset()
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracerEmitNoAllocs locks the zero-allocation guarantee for both the
+// disabled (nil) tracer and the steady-state enabled ring.
+func TestTracerEmitNoAllocs(t *testing.T) {
+	var disabled *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		disabled.Emit(1, EvTLBMiss, 2, 3)
+	}); n != 0 {
+		t.Fatalf("disabled Emit allocates %v/op", n)
+	}
+	enabled, err := NewTracer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		enabled.Emit(1, EvWalkEnd, 2, 3)
+	}); n != 0 {
+		t.Fatalf("enabled Emit allocates %v/op", n)
+	}
+}
+
+func TestTracerRegisterMetrics(t *testing.T) {
+	tr, _ := NewTracer(8)
+	r := NewRegistry()
+	tr.RegisterMetrics(r, "trace")
+	tr.Emit(1, EvPageCrossIssue, 0, 0)
+	tr.Emit(2, EvPageCrossIssue, 0, 0)
+	tr.Emit(3, EvPageCrossDrop, 0, 0)
+	if v, ok := r.Value("trace.events.pgc-issue"); !ok || v != 2 {
+		t.Fatalf("pgc-issue = %d, %v", v, ok)
+	}
+	if v, ok := r.Value("trace.events.pgc-drop"); !ok || v != 1 {
+		t.Fatalf("pgc-drop = %d, %v", v, ok)
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr, _ := NewTracer(8)
+	tr.Emit(5, EvWalkBegin, 10, 1)
+	tr.Emit(9, EvWalkEnd, 10, 42)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var rec struct {
+		Cycle uint64 `json:"cycle"`
+		Kind  string `json:"kind"`
+		A, B  uint64
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if rec.Cycle != 9 || rec.Kind != "walk-end" || rec.A != 10 || rec.B != 42 {
+		t.Fatalf("decoded %+v", rec)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/ptw"
 	"repro/internal/tlb"
 	"repro/internal/vmem"
@@ -28,6 +29,10 @@ type MMU struct {
 	ITLB *tlb.TLB
 	STLB *tlb.TLB
 	PTW  *ptw.Walker
+
+	// Trace, when non-nil, receives a tlb-miss event for every translation
+	// that misses both TLB levels; nil costs one branch per sTLB miss.
+	Trace *metrics.Tracer
 }
 
 // Config sizes the three TLBs (Table IV defaults via DefaultConfig).
@@ -148,6 +153,11 @@ func (m *MMU) translate(l1 *tlb.TLB, va mem.VAddr, cycle uint64, demand, allowWa
 		return Result{Translation: tr, Ready: after + m.STLB.Latency(), Source: SrcSTLB}
 	}
 	after += m.STLB.Latency()
+	var fromPf uint64
+	if fromPrefetch {
+		fromPf = 1
+	}
+	m.Trace.Emit(cycle, metrics.EvTLBMiss, va.PageID(), fromPf)
 	if !allowWalk {
 		return Result{Source: SrcDenied, Ready: after}
 	}
@@ -157,6 +167,22 @@ func (m *MMU) translate(l1 *tlb.TLB, va mem.VAddr, cycle uint64, demand, allowWa
 	m.STLB.Insert(va, tr, fromPrefetch)
 	l1.Insert(va, tr, fromPrefetch)
 	return Result{Translation: tr, Ready: ready, Source: SrcWalk}
+}
+
+// RegisterMetrics exports the whole translation path — all three TLBs and
+// the page walker — into a metrics registry, and points the walker at the
+// same tracer the MMU uses.
+func (m *MMU) RegisterMetrics(r *metrics.Registry) {
+	m.DTLB.RegisterMetrics(r, "dtlb")
+	m.ITLB.RegisterMetrics(r, "itlb")
+	m.STLB.RegisterMetrics(r, "stlb")
+	m.PTW.RegisterMetrics(r, "ptw")
+}
+
+// SetTracer wires an event tracer into the MMU and its walker.
+func (m *MMU) SetTracer(t *metrics.Tracer) {
+	m.Trace = t
+	m.PTW.Trace = t
 }
 
 // Flush empties all TLBs (trace replay between multi-core repetitions

@@ -1,0 +1,23 @@
+package prefetch
+
+import "repro/internal/metrics"
+
+// MetricSource is implemented by engines that export internal state into
+// the unified metrics registry. The simulator type-asserts its configured
+// engines against it at registration time, so engines without interesting
+// state need no stub.
+type MetricSource interface {
+	RegisterMetrics(r *metrics.Registry, prefix string)
+}
+
+// RegisterMetrics exports the FDP throttle's aggressiveness state and
+// interval feedback under prefix ("prefetch.l1d.fdp").
+func (t *Throttle) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.GaugeFunc(prefix+".level", func() uint64 { return uint64(t.level) })
+	r.CounterFunc(prefix+".accesses", func() uint64 { return t.accesses })
+	r.GaugeFunc(prefix+".interval_useful", func() uint64 { return t.useful })
+	r.GaugeFunc(prefix+".interval_useless", func() uint64 { return t.useless })
+	if src, ok := t.Engine.(MetricSource); ok {
+		src.RegisterMetrics(r, prefix+".engine")
+	}
+}

@@ -1,0 +1,42 @@
+package ptw
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	m := &flatMem{latency: 100}
+	w, _ := newWalker(t, m, false)
+	r := metrics.NewRegistry()
+	w.RegisterMetrics(r, "ptw")
+	tr, err := metrics.NewTracer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Trace = tr
+
+	w.Walk(0x7000_1234_5000, 0, false)
+	w.Walk(0x7000_1234_6000, 10_000, true)
+
+	if v, _ := r.Value("ptw.walks"); v != w.Stats.Walks {
+		t.Fatalf("ptw.walks = %d, stats %d", v, w.Stats.Walks)
+	}
+	if v, _ := r.Value("ptw.speculative_walks"); v != 1 {
+		t.Fatalf("speculative_walks = %d", v)
+	}
+	snap := r.Snapshot()
+	hv, ok := snap.Histogram("ptw.walk_depth")
+	if !ok || hv.Count != 2 {
+		t.Fatalf("walk_depth sampled %d times (ok=%v), want one per walk", hv.Count, ok)
+	}
+	// The cold walk reads all 5 levels; the warm one hits the PSC.
+	if hv.Sum != w.Stats.WalkMemAccesses {
+		t.Fatalf("walk_depth sum %d != mem accesses %d", hv.Sum, w.Stats.WalkMemAccesses)
+	}
+	if tr.KindCount(metrics.EvWalkBegin) != 2 || tr.KindCount(metrics.EvWalkEnd) != 2 {
+		t.Fatalf("trace: begin=%d end=%d, want 2/2",
+			tr.KindCount(metrics.EvWalkBegin), tr.KindCount(metrics.EvWalkEnd))
+	}
+}

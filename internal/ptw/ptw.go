@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/vmem"
 )
@@ -117,6 +118,14 @@ type Walker struct {
 
 	inflight map[uint64]*inflightWalk // 4K VPN → walk
 	Stats    *stats.PTWStats
+
+	// depthHist samples the number of page-table reads each walk issued to
+	// memory (0 when the PSCs covered everything but the leaf was merged);
+	// nil until the walker is registered in a metrics registry.
+	depthHist *metrics.Histogram
+	// Trace, when non-nil, receives walk-begin/walk-end events; nil (the
+	// production default) costs one branch per walk.
+	Trace *metrics.Tracer
 }
 
 // New builds a walker that resolves translations from as and issues its
@@ -173,6 +182,11 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 	} else {
 		w.Stats.Walks++
 	}
+	var spec uint64
+	if speculative {
+		spec = 1
+	}
+	w.Trace.Emit(cycle, metrics.EvWalkBegin, va.PageID(), spec)
 
 	start := cycle
 	if len(w.inflight) >= w.cfg.MaxInflight {
@@ -213,7 +227,17 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 			w.pscs[steps[i].Level].insert(tagFor(va, steps[i].Level))
 		}
 	}
+	w.depthHist.Observe(uint64(len(steps) - firstLevel))
+	w.Trace.Emit(cycle, metrics.EvWalkEnd, va.PageID(), ready)
 
 	w.inflight[va.PageID()] = &inflightWalk{ready: ready, tr: tr}
 	return tr, ready
+}
+
+// RegisterMetrics exports the walker's statistics and its walk-depth
+// distribution (memory reads per walk, after PSC skipping) into a metrics
+// registry under prefix ("ptw").
+func (w *Walker) RegisterMetrics(r *metrics.Registry, prefix string) {
+	w.Stats.RegisterMetrics(r, prefix)
+	w.depthHist = r.MustHistogram(prefix+".walk_depth", []uint64{0, 1, 2, 3, 4, 5})
 }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// snapshotBytes runs one golden workload on a fresh system and returns the
+// serialised metrics snapshot.
+func snapshotBytes(t *testing.T, name string) []byte {
+	t.Helper()
+	return runGolden(t, name)
+}
+
+// TestSnapshotDeterminism locks the property the golden suite depends on:
+// two back-to-back runs of the same seed and configuration produce
+// byte-identical snapshots.
+func TestSnapshotDeterminism(t *testing.T) {
+	for _, name := range goldenWorkloads {
+		t.Run(name, func(t *testing.T) {
+			a := snapshotBytes(t, name)
+			b := snapshotBytes(t, name)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("back-to-back runs of %s diverged", name)
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterminismAcrossPolicies covers the policies with internal
+// state (the DRIPPER filter's perceptron and threshold ladder, PPF's
+// converted tables): state-carrying policies must be just as reproducible as
+// the stateless ones.
+func TestSnapshotDeterminismAcrossPolicies(t *testing.T) {
+	w, ok := trace.ByName("spec.pagehop_s00")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	for _, pol := range []PolicyKind{PolicyPermit, PolicyDiscardPTW, PolicyDripper, PolicyPPFDthr} {
+		t.Run(string(pol), func(t *testing.T) {
+			run := func() []byte {
+				cfg := goldenConfig()
+				cfg.Policy = pol
+				reader, err := w.NewReader()
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, sys, err := RunTraceSystem(context.Background(), cfg, w.Name, w.Suite, reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := sys.Snapshot().WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			if !bytes.Equal(run(), run()) {
+				t.Fatalf("policy %s runs diverged", pol)
+			}
+		})
+	}
+}
+
+// TestTracerDeterminism: with the tracer enabled, the retained event
+// sequence itself must be reproducible (events carry cycles and addresses,
+// both deterministic).
+func TestTracerDeterminism(t *testing.T) {
+	w, ok := trace.ByName("spec.pagehop_s00")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	run := func() []byte {
+		cfg := goldenConfig()
+		cfg.TraceCapacity = 4096
+		reader, err := w.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sys, err := RunTraceSystem(context.Background(), cfg, w.Name, w.Suite, reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sys.Tracer.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if sys.Tracer.Total() == 0 {
+			t.Fatal("tracer recorded no events on a page-hopping workload")
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("event traces diverged between identical runs")
+	}
+}
+
+// TestTracerNoObserverEffect: enabling the tracer must not change the
+// simulation's results — observability is read-only.
+func TestTracerNoObserverEffect(t *testing.T) {
+	w, ok := trace.ByName("spec.pagehop_s00")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	run := func(traceCap int) *stats.Run {
+		cfg := goldenConfig()
+		cfg.TraceCapacity = traceCap
+		reader, err := w.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _, err := RunTraceSystem(context.Background(), cfg, w.Name, w.Suite, reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain, traced := run(0), run(4096)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracing perturbed the run:\nuntraced: %+v\ntraced:   %+v", plain, traced)
+	}
+}

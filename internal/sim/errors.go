@@ -20,10 +20,12 @@ import (
 	"fmt"
 )
 
-// Snapshot is the diagnostic state captured when the watchdog fires, enough
-// to localise a stall without re-running: where the ROB head is stuck, how
-// full the MSHRs are, and whether page walks are in flight.
-type Snapshot struct {
+// StallSnapshot is the diagnostic state captured when the watchdog fires,
+// enough to localise a stall without re-running: where the ROB head is
+// stuck, how full the MSHRs are, and whether page walks are in flight. Its
+// values are read from the system's unified metrics registry (the same
+// counters -metrics-out exports).
+type StallSnapshot struct {
 	Cycle           uint64 // core cycle at capture
 	Retired         uint64 // lifetime retired instructions (never reset)
 	LastRetireCycle uint64 // cycle of the most recent retirement
@@ -38,7 +40,7 @@ type Snapshot struct {
 }
 
 // String renders the snapshot on one line for error messages and logs.
-func (s Snapshot) String() string {
+func (s StallSnapshot) String() string {
 	return fmt.Sprintf(
 		"cycle=%d retired=%d lastRetire=%d rob=%d/%d head{pc=%#x ready=%d} mshr{l1d=%d l2c=%d llc=%d} walks=%d",
 		s.Cycle, s.Retired, s.LastRetireCycle, s.ROBOccupancy, s.ROBSize,
@@ -61,7 +63,7 @@ const (
 type StallError struct {
 	Reason StallReason
 	Bound  uint64 // the cycle bound that was exceeded
-	Snap   Snapshot
+	Snap   StallSnapshot
 }
 
 // Error implements error.

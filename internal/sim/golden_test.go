@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// update rewrites the golden metric snapshots instead of comparing:
+//
+//	go test ./internal/sim -run TestGoldenSnapshots -update
+var update = flag.Bool("update", false, "rewrite golden metric snapshots under testdata/golden")
+
+// goldenWorkloads are three small fixed-seed workloads with distinct memory
+// behaviour: a page-friendly stream, a page-hopping pattern that exercises
+// the page-cross path, and an irregular graph traversal.
+var goldenWorkloads = []string{
+	"spec.stream_s00",
+	"spec.pagehop_s00",
+	"gap.graph_s00",
+}
+
+// goldenConfig is deliberately tiny: the goal is a stable fingerprint of the
+// whole pipeline (prefetcher, DRIPPER filter, TLBs, walker, DRAM), not a
+// performance measurement.
+func goldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 10_000
+	cfg.SimInstrs = 20_000
+	cfg.Policy = PolicyDripper
+	return cfg
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+func runGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	w, ok := trace.ByName(name)
+	if !ok {
+		t.Fatalf("workload %s missing", name)
+	}
+	reader, err := w.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sys, err := RunTraceSystem(context.Background(), goldenConfig(), w.Name, w.Suite, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSnapshots compares the full metrics snapshot of each golden
+// workload against its committed fingerprint. Any behavioural change in the
+// simulator shows up as a readable per-counter diff; deliberate changes are
+// accepted with -update.
+func TestGoldenSnapshots(t *testing.T) {
+	for _, name := range goldenWorkloads {
+		t.Run(name, func(t *testing.T) {
+			got := runGolden(t, name)
+			path := goldenPath(name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if bytes.Equal(got, want) {
+				return
+			}
+			wantSnap, werr := metrics.ParseSnapshot(want)
+			gotSnap, gerr := metrics.ParseSnapshot(got)
+			if werr != nil || gerr != nil {
+				t.Fatalf("snapshot drifted and could not diff (golden: %v, current: %v)", werr, gerr)
+			}
+			for _, d := range metrics.Diff(wantSnap, gotSnap) {
+				t.Errorf("%s", d)
+			}
+			t.Fatalf("metrics snapshot drifted from %s; review the per-counter diff above and accept deliberate changes with -update", path)
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/prefetch"
+)
+
+// registerMetrics builds the system's unified metrics registry: every
+// hardware component registers its counters under a stable hierarchical
+// prefix, and the sim layer adds the cross-component gauges (cycle-aware
+// MSHR/walk occupancy) and the prefetch-path accounting it alone can see.
+//
+// ownLLC/ownDRAM are false for cores of a multi-core system, whose shared
+// LLC and DRAM belong to the machine, not to any one core's registry.
+func (s *System) registerMetrics(ownLLC, ownDRAM bool) {
+	r := metrics.NewRegistry()
+	s.Metrics = r
+
+	s.Core.RegisterMetrics(r, "core")
+	s.L1I.RegisterMetrics(r, "l1i")
+	s.L1D.RegisterMetrics(r, "l1d")
+	s.L2C.RegisterMetrics(r, "l2c")
+	if ownLLC {
+		s.LLC.RegisterMetrics(r, "llc")
+	}
+	if ownDRAM {
+		s.DRAM.RegisterMetrics(r, "dram")
+	}
+	s.MMU.RegisterMetrics(r)
+
+	// Cycle-aware occupancy gauges: the components cannot know the current
+	// core cycle, so the sim layer closes over it. These are the fields the
+	// watchdog's stall snapshot reads.
+	r.GaugeFunc("l1d.mshr_inflight", func() uint64 {
+		return uint64(s.L1D.OutstandingMisses(s.Core.Cycle()))
+	})
+	r.GaugeFunc("l2c.mshr_inflight", func() uint64 {
+		return uint64(s.L2C.OutstandingMisses(s.Core.Cycle()))
+	})
+	r.GaugeFunc("llc.mshr_inflight", func() uint64 {
+		return uint64(s.LLC.OutstandingMisses(s.Core.Cycle()))
+	})
+	r.GaugeFunc("ptw.inflight", func() uint64 {
+		return uint64(s.MMU.PTW.Inflight(s.Core.Cycle()))
+	})
+
+	// Prefetch-path accounting lives in the sim layer because the engines
+	// are address-stream transducers with no issue authority: trains,
+	// candidate production and the per-train issue degree (fill level).
+	s.mL1DTrains = r.Counter("prefetch.l1d.trains")
+	s.mL1DCandidates = r.Counter("prefetch.l1d.candidates")
+	s.mL1ICandidates = r.Counter("prefetch.l1i.candidates")
+	s.mL2CCandidates = r.Counter("prefetch.l2c.candidates")
+	s.mDegreeHist = r.MustHistogram("prefetch.l1d.degree", []uint64{0, 1, 2, 3, 4, 8, 16})
+	if src, ok := s.L1DPf.(prefetch.MetricSource); ok {
+		src.RegisterMetrics(r, "prefetch.l1d.fdp")
+	}
+
+	// The page-cross policy: filter-backed policies expose their decision
+	// and training counters plus live threshold state.
+	if src, ok := s.Policy.(interface {
+		RegisterMetrics(*metrics.Registry, string)
+	}); ok {
+		src.RegisterMetrics(r, "filter")
+	}
+
+	s.mEpochs = r.Counter("sim.epochs")
+	if s.Tracer != nil {
+		s.Tracer.RegisterMetrics(r, "trace")
+	}
+}
+
+// Snapshot exports the system's complete metric state: every component's
+// counters, gauges and histograms, stable-ordered and deterministic for a
+// given seed and configuration. It is the payload of -metrics-out, of the
+// golden-stats regression suite, and (in reduced form) of the watchdog's
+// stall diagnostics.
+func (s *System) Snapshot() metrics.Snapshot { return s.Metrics.Snapshot() }
+
+// StallSnapshot captures the forward-progress diagnostics — ROB head, MSHR
+// occupancy per level, in-flight page walks — by reading the unified
+// registry, so the watchdog's StallError and -metrics-out report through
+// the same counters.
+func (s *System) StallSnapshot() StallSnapshot {
+	v := func(name string) uint64 {
+		x, _ := s.Metrics.Value(name)
+		return x
+	}
+	return StallSnapshot{
+		Cycle:           v("core.cycle"),
+		Retired:         v("core.retired_total"),
+		LastRetireCycle: v("core.last_retire_cycle"),
+		ROBOccupancy:    int(v("core.rob_occupancy")),
+		ROBSize:         int(v("core.rob_size")),
+		ROBHeadPC:       v("core.rob_head_pc"),
+		ROBHeadReady:    v("core.rob_head_ready"),
+		L1DMSHRs:        int(v("l1d.mshr_inflight")),
+		L2CMSHRs:        int(v("l2c.mshr_inflight")),
+		LLCMSHRs:        int(v("llc.mshr_inflight")),
+		InflightWalks:   int(v("ptw.inflight")),
+	}
+}

@@ -201,11 +201,11 @@ func (w *multiWatchdog) check(ctx context.Context) error {
 
 // stuckSnapshot snapshots the first core that is still running (all cores
 // are stuck when the no-retire bound trips; any live one is diagnostic).
-func (w *multiWatchdog) stuckSnapshot() Snapshot {
+func (w *multiWatchdog) stuckSnapshot() StallSnapshot {
 	for _, sys := range w.m.Systems {
 		if !sys.Core.Done() {
-			return sys.Snapshot()
+			return sys.StallSnapshot()
 		}
 	}
-	return w.m.Systems[0].Snapshot()
+	return w.m.Systems[0].StallSnapshot()
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/faultinject"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mmu"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
@@ -83,6 +84,12 @@ type Config struct {
 
 	WarmupInstrs uint64
 	SimInstrs    uint64
+
+	// TraceCapacity, when positive, enables the event tracer with a ring
+	// buffer of that many events (TLB misses, walk begin/end, page-cross
+	// issues/drops). Zero — the default — leaves tracing disabled at zero
+	// allocation cost.
+	TraceCapacity int
 
 	// Watchdog bounds forward progress in the run loop; its zero value
 	// enables the defaults (see WatchdogConfig).
@@ -179,6 +186,19 @@ type System struct {
 	L2CPf  prefetch.Prefetcher
 	L1IPf  prefetch.Prefetcher
 	Policy core.Policy
+
+	// Metrics is the unified registry every component reports through; see
+	// registerMetrics. Tracer is non-nil only when Config.TraceCapacity > 0.
+	Metrics *metrics.Registry
+	Tracer  *metrics.Tracer
+
+	// Sim-layer prefetch accounting handles (owned by Metrics).
+	mL1DTrains     *metrics.Counter
+	mL1DCandidates *metrics.Counter
+	mL1ICandidates *metrics.Counter
+	mL2CCandidates *metrics.Counter
+	mDegreeHist    *metrics.Histogram
+	mEpochs        *metrics.Counter
 
 	// Demand history for the filter's Input.
 	prevVA1, prevVA2 uint64
@@ -387,6 +407,14 @@ func newSystem(cfg Config, sharedLLC *cache.Cache, sharedDRAM *dram.DRAM) (*Syst
 	}); err != nil {
 		return nil, err
 	}
+
+	if cfg.TraceCapacity > 0 {
+		if s.Tracer, err = metrics.NewTracer(cfg.TraceCapacity); err != nil {
+			return nil, err
+		}
+		s.MMU.SetTracer(s.Tracer)
+	}
+	s.registerMetrics(sharedLLC == nil, sharedDRAM == nil)
 	return s, nil
 }
 
@@ -404,6 +432,7 @@ func (a *l2Adapter) Access(req *cache.Request, cycle uint64) uint64 {
 		cands := s.L2CPf.Train(prefetch.Access{
 			Addr: uint64(req.PA), PC: uint64(req.PC), Cycle: cycle, Hit: hit,
 		})
+		s.mL2CCandidates.Add(uint64(len(cands)))
 		for _, c := range cands {
 			if c.CrossesPage(uint64(req.PA)) {
 				continue // PIPT prefetchers must stay within the frame
@@ -423,7 +452,9 @@ func (s *System) fetch(pc uint64, cycle uint64) uint64 {
 	ready := s.L1I.Access(req, res.Ready)
 
 	if s.L1IPf != nil {
-		for _, c := range s.L1IPf.Train(prefetch.Access{Addr: pc, PC: pc, Cycle: cycle}) {
+		icands := s.L1IPf.Train(prefetch.Access{Addr: pc, PC: pc, Cycle: cycle})
+		s.mL1ICandidates.Add(uint64(len(icands)))
+		for _, c := range icands {
 			if c.CrossesPage(pc) {
 				continue // instruction prefetching stays in-page
 			}
@@ -471,7 +502,9 @@ func (s *System) demandAccess(pc, va uint64, cycle uint64, kind mem.AccessType) 
 		if !hit {
 			s.L1DPf.FillLatency(ready - cycle)
 		}
+		s.mL1DTrains.Inc()
 		cands := s.L1DPf.Train(prefetch.Access{Addr: va, PC: pc, Cycle: cycle, Hit: hit})
+		s.mL1DCandidates.Add(uint64(len(cands)))
 		s.issuePrefetches(pc, va, !seen, res.Translation.Kind, cands, cycle)
 	}
 
@@ -485,12 +518,15 @@ func (s *System) demandAccess(pc, va uint64, cycle uint64, kind mem.AccessType) 
 	return ready
 }
 
-// issuePrefetches classifies and issues the prefetcher's candidates.
+// issuePrefetches classifies and issues the prefetcher's candidates. The
+// number actually issued per train feeds the prefetch.l1d.degree histogram
+// (the fill-level distribution); page-cross decisions are traced.
 func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKind mem.PageSizeKind, cands []prefetch.Candidate, cycle uint64) {
 	degree := s.cfg.MaxPrefetchDegree
 	if degree <= 0 {
 		degree = len(cands)
 	}
+	var issued uint64
 	for i, c := range cands {
 		if i >= degree {
 			break
@@ -508,6 +544,7 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 			s.L1D.Access(&cache.Request{
 				PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch, Delta: c.Delta,
 			}, res.Ready)
+			issued++
 			continue
 		}
 
@@ -521,10 +558,12 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 				continue
 			}
 			pa := res.Translation.PA(target)
+			s.Tracer.Emit(cycle, metrics.EvPageCrossIssue, uint64(target), pa.LineID())
 			s.L1D.Access(&cache.Request{
 				PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch,
 				IsPageCross: true, Delta: c.Delta,
 			}, res.Ready)
+			issued++
 			continue
 		}
 
@@ -538,6 +577,7 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 		if !issue {
 			s.Policy.RecordDiscard(target.LineID(), tag)
 			s.L1D.Stats.PGCDropped++
+			s.Tracer.Emit(cycle, metrics.EvPageCrossDrop, uint64(target), 0)
 			continue
 		}
 		res := s.MMU.TranslatePrefetch(target, cycle, allowWalk)
@@ -545,20 +585,25 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 			// Discard-PTW semantics: no speculative walk permitted.
 			s.Policy.RecordDiscard(target.LineID(), tag)
 			s.L1D.Stats.PGCDropped++
+			s.Tracer.Emit(cycle, metrics.EvPageCrossDrop, uint64(target), 1)
 			continue
 		}
 		pa := res.Translation.PA(target)
 		s.Policy.RecordIssue(pa.LineID(), tag)
+		s.Tracer.Emit(cycle, metrics.EvPageCrossIssue, uint64(target), pa.LineID())
 		s.L1D.Access(&cache.Request{
 			PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch,
 			IsPageCross: true, Delta: c.Delta,
 		}, res.Ready)
+		issued++
 	}
+	s.mDegreeHist.Observe(issued)
 }
 
 // epoch closes a filter epoch: it builds the SystemState snapshot from the
 // per-epoch deltas and ticks the policy.
 func (s *System) epoch(cycle, retired uint64) {
+	s.mEpochs.Inc()
 	cur := epochCounters{
 		instr:      retired,
 		cycles:     s.Core.Stats.Cycles,
@@ -618,6 +663,11 @@ func (s *System) ResetStats() {
 	*s.MMU.PTW.Stats = stats.PTWStats{}
 	s.DRAM.Stats = dram.Stats{}
 	s.epochSnap = epochCounters{}
+	// Registry-owned counters and histograms (MSHR/latency/depth/degree
+	// distributions, epoch count) reset with the stats they accompany; the
+	// function-backed views above reset through their underlying fields.
+	s.Metrics.Reset()
+	s.Tracer.Reset()
 }
 
 // Collect gathers the current statistics into a Run.
@@ -634,27 +684,6 @@ func (s *System) Collect(name, suite string) *stats.Run {
 		ITLB:     *s.MMU.ITLB.Stats,
 		STLB:     *s.MMU.STLB.Stats,
 		PTW:      *s.MMU.PTW.Stats,
-	}
-}
-
-// Snapshot captures the system's forward-progress diagnostics: the ROB
-// head, MSHR occupancy per level, and in-flight page walks at the current
-// cycle. StallError embeds one so a stalled run can be localised post-hoc.
-func (s *System) Snapshot() Snapshot {
-	cycle := s.Core.Cycle()
-	pc, ready, _ := s.Core.ROBHead()
-	return Snapshot{
-		Cycle:           cycle,
-		Retired:         s.Core.RetiredTotal(),
-		LastRetireCycle: s.Core.LastRetireCycle(),
-		ROBOccupancy:    s.Core.ROBCount(),
-		ROBSize:         s.cfg.Core.ROBSize,
-		ROBHeadPC:       pc,
-		ROBHeadReady:    ready,
-		L1DMSHRs:        s.L1D.OutstandingMisses(cycle),
-		L2CMSHRs:        s.L2C.OutstandingMisses(cycle),
-		LLCMSHRs:        s.LLC.OutstandingMisses(cycle),
-		InflightWalks:   s.MMU.PTW.Inflight(cycle),
 	}
 }
 
@@ -675,10 +704,12 @@ func (s *System) Run(ctx context.Context) error {
 		}
 		cycle := s.Core.Cycle()
 		if last := s.Core.LastRetireCycle(); cycle-last > wd.NoRetireBound {
-			return &StallError{Reason: StallNoRetire, Bound: wd.NoRetireBound, Snap: s.Snapshot()}
+			s.Tracer.Emit(cycle, metrics.EvStallSnapshot, s.Core.RetiredTotal(), last)
+			return &StallError{Reason: StallNoRetire, Bound: wd.NoRetireBound, Snap: s.StallSnapshot()}
 		}
 		if wd.MaxCycles > 0 && cycle-start > wd.MaxCycles {
-			return &StallError{Reason: StallCycleCeiling, Bound: wd.MaxCycles, Snap: s.Snapshot()}
+			s.Tracer.Emit(cycle, metrics.EvStallSnapshot, s.Core.RetiredTotal(), s.Core.LastRetireCycle())
+			return &StallError{Reason: StallCycleCeiling, Bound: wd.MaxCycles, Snap: s.StallSnapshot()}
 		}
 	}
 	return nil
@@ -713,24 +744,33 @@ func RunTrace(cfg Config, name, suite string, reader trace.Reader) (*stats.Run, 
 // can report partial results; they are not comparable to a complete run and
 // must not enter a matrix.
 func RunTraceCtx(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
+	run, _, err := RunTraceSystem(ctx, cfg, name, suite, reader)
+	return run, err
+}
+
+// RunTraceSystem is RunTraceCtx returning the system alongside the run, so
+// callers can export its metrics snapshot (-metrics-out), drain its event
+// tracer (-trace-out), or diff registries across runs. The system is nil
+// only when construction itself failed.
+func RunTraceSystem(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, *System, error) {
 	if err := cfg.FaultInject.BeginAttempt(); err != nil {
-		return nil, &RunError{Workload: name, Stage: "setup", Err: err}
+		return nil, nil, &RunError{Workload: name, Stage: "setup", Err: err}
 	}
 	sys, err := New(cfg)
 	if err != nil {
-		return nil, &RunError{Workload: name, Stage: "build", Err: err}
+		return nil, nil, &RunError{Workload: name, Stage: "build", Err: err}
 	}
 	reader = cfg.FaultInject.WrapReader(reader)
 	if cfg.WarmupInstrs > 0 {
 		sys.Core.Attach(reader, cfg.WarmupInstrs)
 		if err := sys.Run(ctx); err != nil {
-			return nil, &RunError{Workload: name, Stage: "warmup", Err: err}
+			return nil, sys, &RunError{Workload: name, Stage: "warmup", Err: err}
 		}
 		sys.ResetStats()
 	}
 	sys.Core.Attach(reader, cfg.SimInstrs)
 	if err := sys.Run(ctx); err != nil {
-		return sys.Collect(name, suite), &RunError{Workload: name, Stage: "measure", Err: err}
+		return sys.Collect(name, suite), sys, &RunError{Workload: name, Stage: "measure", Err: err}
 	}
-	return sys.Collect(name, suite), nil
+	return sys.Collect(name, suite), sys, nil
 }

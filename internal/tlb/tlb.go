@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/vmem"
 )
@@ -182,6 +183,13 @@ func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
 
 // Latency returns the hit latency.
 func (t *TLB) Latency() uint64 { return t.cfg.Latency }
+
+// RegisterMetrics exports the TLB's statistics block into a metrics
+// registry under prefix ("dtlb", "itlb", "stlb").
+func (t *TLB) RegisterMetrics(r *metrics.Registry, prefix string) {
+	t.Stats.RegisterMetrics(r, prefix)
+	r.GaugeFunc(prefix+".entries", func() uint64 { return uint64(t.cfg.Entries()) })
+}
 
 // Flush invalidates every entry (multi-core trace replay).
 func (t *TLB) Flush() {
