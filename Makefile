@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check cover bench golden
+.PHONY: build test race vet check cover bench golden diff fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,20 @@ bench:
 # behavioural change; review the diff before committing.
 golden:
 	$(GO) test ./internal/sim -run TestGoldenSnapshots -update
+
+# diff runs the differential sim-vs-oracle suite: clean runs across every
+# policy and family, both injected acceptance bugs (MSHR leak, stale PTE)
+# with shrinking + repro replay, and the -race multicore sweep.
+diff:
+	$(GO) test ./internal/sim -run 'Check|Shrink|Injected' -v
+	$(GO) test -race ./internal/sim -run TestRaceMulticoreDifferential -v
+
+# fuzz gives each differential fuzz target a bounded budget; counterexamples
+# are shrunk and written under internal/sim/testdata/repro/.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSimVsOracle -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzTraceStream -fuzztime $(FUZZTIME)
 
 # check is the CI gate: vet, build, and the full suite under the race
 # detector (the resilience tests exercise the worker pool concurrently).

@@ -429,3 +429,35 @@ func BenchmarkTracerOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCheckOverhead quantifies the differential oracle's cost on the
+// full simulation path. Run with -benchmem: "disabled" must match the
+// baseline allocation count exactly (the only residue of the check machinery
+// is a nil comparison per poll/epoch boundary), while "enabled" buys the
+// lockstep functional cross-check.
+func BenchmarkCheckOverhead(b *testing.B) {
+	w, ok := trace.ByName("spec.pagehop_s00")
+	if !ok {
+		b.Fatal("workload missing")
+	}
+	for _, bc := range []struct {
+		name    string
+		enabled bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Policy = sim.PolicyDripper
+			cfg.WarmupInstrs = 0
+			cfg.SimInstrs = 50_000
+			cfg.Check.Enabled = bc.enabled
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunWorkload(cfg, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30m (0 = none); completed experiments are kept on expiry")
 		outDir   = flag.String("out-dir", "", "write each experiment's report to <out-dir>/<name>.{txt,json} instead of stdout")
 		pprofOut = flag.String("pprof", "", "write a CPU profile of the campaign to this file")
+		check    = flag.Bool("check", false, "run every simulation with the lockstep oracle and invariant sweeps; violations land in the failure ledger under stage \"check\"")
 	)
 	flag.Parse()
 
@@ -78,7 +80,8 @@ func main() {
 	o := experiments.Options{
 		Warmup: *warmup, Instrs: *instrs,
 		MaxWorkloads: *maxWl, Parallel: *par, Prefetcher: *pf,
-		Ctx: ctx,
+		Ctx:   ctx,
+		Check: sim.CheckConfig{Enabled: *check},
 	}
 
 	run := func(name string) error {

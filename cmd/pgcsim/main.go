@@ -40,6 +40,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the event trace as JSONL to this file (enables the tracer)")
 		traceCap   = flag.Int("trace-cap", 1<<16, "event-trace ring-buffer capacity (with -trace-out)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+		check      = flag.Bool("check", false, "run the lockstep functional oracle and invariant sweeps; violations fail the run")
+		checkFF    = flag.Bool("check-failfast", false, "with -check, abort at the first violation instead of accumulating")
 	)
 	flag.Parse()
 
@@ -78,6 +80,21 @@ func main() {
 	}
 	if *traceOut != "" {
 		cfg.TraceCapacity = *traceCap
+	}
+	cfg.Check = sim.CheckConfig{Enabled: *check || *checkFF, FailFast: *checkFF}
+	if cfg.Check.FailFast {
+		// FailFast models a hardware assertion: the checker aborts the run by
+		// panicking with its typed *CheckError. Surface it as a normal CLI
+		// failure rather than a stack trace.
+		defer func() {
+			if r := recover(); r != nil {
+				if ce, ok := r.(*sim.CheckError); ok {
+					fmt.Fprintf(os.Stderr, "pgcsim: %v\n", ce)
+					os.Exit(1)
+				}
+				panic(r)
+			}
+		}()
 	}
 
 	if *pprofOut != "" {

@@ -138,6 +138,7 @@ type inflight struct {
 	pageCross   bool
 	filterTag   any
 	demandMerge bool // a demand access merged while in flight
+	leaked      bool // fault injection: the MSHR release for this fill is lost
 }
 
 // Cache is one physically-tagged cache level.
@@ -155,6 +156,12 @@ type Cache struct {
 	// registered in a metrics registry; nil (the unregistered state) makes
 	// Observe a single branch.
 	mshrHist *metrics.Histogram
+
+	// leakEveryN, when non-zero, loses the MSHR release of every Nth
+	// completed fill (fault injection: a bookkeeping leak the oracle's
+	// leak-freedom invariant must catch).
+	leakEveryN uint64
+	gcReleases uint64
 
 	outstanding map[uint64]*inflight // line ID → in-flight fill
 
@@ -233,11 +240,23 @@ func (c *Cache) lookup(pa mem.PAddr) *Block {
 // gcOutstanding retires completed MSHR entries.
 func (c *Cache) gcOutstanding(cycle uint64) {
 	for id, fl := range c.outstanding {
-		if fl.ready <= cycle {
+		if fl.ready <= cycle && !fl.leaked {
+			if n := c.leakEveryN; n > 0 {
+				c.gcReleases++
+				if c.gcReleases%n == 0 {
+					fl.leaked = true // release lost: the entry stays allocated
+					continue
+				}
+			}
 			delete(c.outstanding, id)
 		}
 	}
 }
+
+// InjectMSHRLeak makes every Nth MSHR release be lost (0 disables): the
+// completed fill's entry stays allocated forever, so occupancy creeps up
+// until the leak-freedom invariant trips. Fault injection for the oracle.
+func (c *Cache) InjectMSHRLeak(everyN uint64) { c.leakEveryN = everyN }
 
 // MissLatencyEstimate returns the cache's running estimate of a demand
 // full-miss latency (EWMA), a diagnostic for timeliness studies.
@@ -550,6 +569,56 @@ func (c *Cache) ServedHit(pa mem.PAddr) (served, resident bool) {
 		return b.servedHit, true
 	}
 	return false, false
+}
+
+// CheckInvariants verifies the level's structural invariants at the given
+// cycle and returns the first violation, nil when clean:
+//
+//   - MSHR leak-freedom: after retiring completed fills, every remaining
+//     entry is genuinely in flight (ready > cycle) — a completed fill still
+//     occupying an MSHR is a lost release;
+//   - MSHR occupancy never exceeds the configured capacity;
+//   - no set holds two valid blocks with the same tag, and every block's
+//     recorded address maps back to the set and tag it sits under;
+//   - block fill timestamps are ordered (issue ≤ ready).
+//
+// It calls the same lazy gc every access path runs, so checking is
+// semantically invisible to the timing model.
+func (c *Cache) CheckInvariants(cycle uint64) error {
+	c.gcOutstanding(cycle)
+	if got := len(c.outstanding); got > c.cfg.MSHRs {
+		return fmt.Errorf("mshr-overflow: %s holds %d in-flight fills with %d MSHRs", c.cfg.Name, got, c.cfg.MSHRs)
+	}
+	for id, fl := range c.outstanding {
+		if fl.ready <= cycle {
+			return fmt.Errorf("mshr-leak: %s line %#x completed at cycle %d but still occupies an MSHR at cycle %d", c.cfg.Name, id, fl.ready, cycle)
+		}
+		if fl.issue > fl.ready {
+			return fmt.Errorf("mshr-time-order: %s line %#x issued at %d after its ready cycle %d", c.cfg.Name, id, fl.issue, fl.ready)
+		}
+	}
+	for si := range c.sets {
+		set := c.sets[si]
+		for wi := range set {
+			b := &set[wi]
+			if !b.valid {
+				continue
+			}
+			if int(c.setIndex(b.pa)) != si || c.tag(b.pa) != b.tag {
+				return fmt.Errorf("block-misplaced: %s block pa %#x stored in set %d tag %#x, address maps to set %d tag %#x",
+					c.cfg.Name, b.pa, si, b.tag, c.setIndex(b.pa), c.tag(b.pa))
+			}
+			if b.issue > b.ready {
+				return fmt.Errorf("block-time-order: %s block pa %#x issue %d > ready %d", c.cfg.Name, b.pa, b.issue, b.ready)
+			}
+			for wj := wi + 1; wj < len(set); wj++ {
+				if set[wj].valid && set[wj].tag == b.tag {
+					return fmt.Errorf("duplicate-tag: %s set %d holds tag %#x twice (pa %#x)", c.cfg.Name, si, b.tag, b.pa)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Flush invalidates all blocks, firing eviction hooks. Used when a core

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// checkAfter runs CheckInvariants and asserts the violation prefix.
+func checkAfter(t *testing.T, c *Cache, cycle uint64, wantPrefix string) {
+	t.Helper()
+	err := c.CheckInvariants(cycle)
+	if wantPrefix == "" {
+		if err != nil {
+			t.Fatalf("clean cache violates: %v", err)
+		}
+		return
+	}
+	if err == nil || !strings.HasPrefix(err.Error(), wantPrefix) {
+		t.Fatalf("CheckInvariants = %v, want %s", err, wantPrefix)
+	}
+}
+
+func TestCheckInvariantsCleanUnderTraffic(t *testing.T) {
+	c := smallCache(t, &fakeLower{latency: 20})
+	for i := 0; i < 64; i++ {
+		c.Access(load(mem.PAddr(i*64)), uint64(i))
+		checkAfter(t, c, uint64(i), "")
+	}
+	// Completed fills must gc away before the leak check judges them.
+	checkAfter(t, c, 10_000, "")
+}
+
+func TestCheckInvariantsCatchesInjectedLeak(t *testing.T) {
+	c := smallCache(t, &fakeLower{latency: 20})
+	c.InjectMSHRLeak(1) // every release lost
+	c.Access(load(0x1000), 0)
+	checkAfter(t, c, 10_000, "mshr-leak:")
+}
+
+func TestCheckInvariantsCatchesOverflowAndOrdering(t *testing.T) {
+	c := smallCache(t, &fakeLower{latency: 20})
+	// More live entries than MSHRs: capacity accounting broke somewhere.
+	for i := 0; i <= c.cfg.MSHRs; i++ {
+		c.outstanding[uint64(i)] = &inflight{issue: 0, ready: 1 << 40}
+	}
+	checkAfter(t, c, 100, "mshr-overflow:")
+
+	c = smallCache(t, &fakeLower{latency: 20})
+	c.outstanding[7] = &inflight{issue: 500, ready: 400}
+	checkAfter(t, c, 100, "mshr-time-order:")
+}
+
+func TestCheckInvariantsCatchesSetCorruption(t *testing.T) {
+	corrupt := func(t *testing.T, mutate func(c *Cache, b *Block), want string) {
+		t.Helper()
+		c := smallCache(t, &fakeLower{latency: 1})
+		c.Access(load(0x4000), 0)
+		b := c.lookup(0x4000)
+		if b == nil {
+			t.Fatal("fill missing")
+		}
+		mutate(c, b)
+		checkAfter(t, c, 1_000, want)
+	}
+	corrupt(t, func(c *Cache, b *Block) { b.tag ^= 1 }, "block-misplaced:")
+	corrupt(t, func(c *Cache, b *Block) { b.issue = b.ready + 10 }, "block-time-order:")
+	corrupt(t, func(c *Cache, b *Block) {
+		set := c.sets[c.setIndex(b.pa)]
+		set[1] = *b // second way, same tag
+	}, "duplicate-tag:")
+}

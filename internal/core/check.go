@@ -1,0 +1,68 @@
+package core
+
+import "fmt"
+
+// CheckBounds verifies the saturation and occupancy invariants of the
+// filter's metadata — the bookkeeping §III-B sizes in Table III and the
+// paper's results depend on staying within:
+//
+//   - every perceptron weight within its [min, max] saturation range;
+//   - every system-feature counter within its saturation range;
+//   - the threshold ladder index within the configured ladder;
+//   - the update buffers holding no more valid entries than their capacity
+//     and no duplicate keys (vUB/pUB are keyed associatively);
+//   - training counters consistent (vUB hits are positive trainings).
+//
+// It returns the first violation found, nil when clean.
+func (f *Filter) CheckBounds() error {
+	for i, t := range f.tables {
+		for idx, w := range t.weights {
+			if w < t.min || w > t.max {
+				return fmt.Errorf("filter-weight-bounds: %s table %d entry %d holds %d outside [%d,%d]",
+					f.cfg.Name, i, idx, w, t.min, t.max)
+			}
+		}
+	}
+	for i, c := range f.sysWts {
+		if c.value < c.min || c.value > c.max {
+			return fmt.Errorf("filter-counter-bounds: %s system counter %d holds %d outside [%d,%d]",
+				f.cfg.Name, i, c.value, c.min, c.max)
+		}
+	}
+	if f.level < 0 || f.level >= len(f.levels) {
+		return fmt.Errorf("filter-threshold-range: %s ladder index %d outside [0,%d)", f.cfg.Name, f.level, len(f.levels))
+	}
+	for _, ub := range []struct {
+		name string
+		b    *UpdateBuffer
+	}{{"vUB", f.vub}, {"pUB", f.pub}} {
+		if err := ub.b.checkBounds(); err != nil {
+			return fmt.Errorf("filter-%s-%w", ub.name, err)
+		}
+	}
+	if f.FalseNegativeHits > f.PositiveTrainings {
+		return fmt.Errorf("filter-training-count: %s vUB hits %d exceed positive trainings %d",
+			f.cfg.Name, f.FalseNegativeHits, f.PositiveTrainings)
+	}
+	return nil
+}
+
+// checkBounds verifies an update buffer holds no duplicate keys and no more
+// valid entries than its capacity.
+func (b *UpdateBuffer) checkBounds() error {
+	if n := b.Len(); n > b.Cap() {
+		return fmt.Errorf("overflow: %d valid entries with capacity %d", n, b.Cap())
+	}
+	seen := make(map[uint64]struct{}, len(b.entries))
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid {
+			continue
+		}
+		if _, dup := seen[e.key]; dup {
+			return fmt.Errorf("duplicate-key: key %#x held twice", e.key)
+		}
+		seen[e.key] = struct{}{}
+	}
+	return nil
+}

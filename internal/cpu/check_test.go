@@ -1,0 +1,41 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckInvariants(t *testing.T) {
+	newCore := func(t *testing.T) *Core {
+		t.Helper()
+		c, err := New(DefaultConfig(), fastPorts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Attach(opTrace(2000), 2000)
+		c.Run()
+		return c
+	}
+
+	if err := newCore(t).CheckInvariants(); err != nil {
+		t.Fatalf("healthy core violates: %v", err)
+	}
+
+	cases := []struct {
+		mutate func(c *Core)
+		want   string
+	}{
+		{func(c *Core) { c.count = c.cfg.ROBSize + 1 }, "rob-occupancy:"},
+		{func(c *Core) { c.count = -1 }, "rob-occupancy:"},
+		{func(c *Core) { c.head = c.cfg.ROBSize }, "rob-head-range:"},
+		{func(c *Core) { c.lastRetire = c.cycle + 1 }, "retire-clock:"},
+		{func(c *Core) { c.retiredTotal = c.Stats.Instructions - 1 }, "retire-count:"},
+	}
+	for _, tc := range cases {
+		c := newCore(t)
+		tc.mutate(c)
+		if err := c.CheckInvariants(); err == nil || !strings.HasPrefix(err.Error(), tc.want) {
+			t.Errorf("CheckInvariants = %v, want %s", err, tc.want)
+		}
+	}
+}

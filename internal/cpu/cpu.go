@@ -317,6 +317,27 @@ func (c *Core) ROBHead() (pc, ready uint64, ok bool) {
 	return c.robPC[c.head], c.rob[c.head], true
 }
 
+// CheckInvariants verifies the core's pipeline invariants: ROB occupancy
+// within [0, ROBSize], a head index inside the ring, retire bookkeeping that
+// never runs ahead of the core clock, and a budget/ROB relationship that
+// still permits forward progress. Returns the first violation, nil when
+// clean.
+func (c *Core) CheckInvariants() error {
+	if c.count < 0 || c.count > c.cfg.ROBSize {
+		return fmt.Errorf("rob-occupancy: %d entries outside [0,%d]", c.count, c.cfg.ROBSize)
+	}
+	if c.head < 0 || c.head >= c.cfg.ROBSize {
+		return fmt.Errorf("rob-head-range: head index %d outside [0,%d)", c.head, c.cfg.ROBSize)
+	}
+	if c.lastRetire > c.cycle {
+		return fmt.Errorf("retire-clock: last retire at cycle %d is ahead of core cycle %d", c.lastRetire, c.cycle)
+	}
+	if c.retiredTotal < c.Stats.Instructions {
+		return fmt.Errorf("retire-count: lifetime retired %d below current-window instructions %d", c.retiredTotal, c.Stats.Instructions)
+	}
+	return nil
+}
+
 // ROBOccupancyFrac returns the mean ROB occupancy as a fraction of the ROB
 // size (the adaptive thresholding scheme's ROB-pressure input).
 func (c *Core) ROBOccupancyFrac() float64 {

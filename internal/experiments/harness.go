@@ -52,6 +52,11 @@ type Options struct {
 	// Watchdog overrides the simulator's forward-progress watchdog for
 	// every run of the experiment (zero value = simulator defaults).
 	Watchdog sim.WatchdogConfig
+	// Check enables the differential oracle and runtime invariant checker
+	// for every run of the experiment (zero value = checks off). Violations
+	// land in the failure ledger under the "check" stage; see
+	// MatrixReport.CheckFailures.
+	Check sim.CheckConfig
 	// Configure, when non-nil, mutates each job's configuration after the
 	// scenario has been applied — the hook fault-injection tests and
 	// per-workload overrides use.
@@ -81,6 +86,7 @@ func baseConfig(o Options) sim.Config {
 	cfg.SimInstrs = o.Instrs
 	cfg.L1DPrefetcher = o.Prefetcher
 	cfg.Watchdog = o.Watchdog
+	cfg.Check = o.Check
 	return cfg
 }
 
@@ -167,6 +173,20 @@ func (r *MatrixReport) Err() error {
 	f := r.Failures[0]
 	return fmt.Errorf("experiments: %d/%d runs failed (first: %s/%s after %d attempt(s): %w)",
 		len(r.Failures), r.Total, f.Scenario, f.Workload, f.Attempts, f.Err)
+}
+
+// CheckFailures returns the ledger entries caused by oracle/invariant
+// violations (RunError stage "check"), distinguishing simulator-correctness
+// failures from environmental ones (stalls, panics, timeouts). A checked
+// campaign is trustworthy only when this slice is empty.
+func (r *MatrixReport) CheckFailures() []RunFailure {
+	var out []RunFailure
+	for _, f := range r.Failures {
+		if sim.CheckFailure(f.Err) != nil {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // FailedWorkloads returns the distinct workload names in the ledger, sorted.
@@ -302,6 +322,15 @@ func runOnce(ctx context.Context, o Options, sc Scenario, wl trace.Workload) (ru
 	defer func() {
 		if r := recover(); r != nil {
 			run = nil
+			// A FailFast checker aborts the run by panicking with its typed
+			// *CheckError (modelling a hardware assertion). That is a
+			// first-class verdict about the simulator, not a crash: ledger it
+			// under the "check" stage so CheckFailures can tell correctness
+			// violations from environmental failures.
+			if ce, ok := r.(*sim.CheckError); ok {
+				err = &sim.RunError{Workload: wl.Name, Stage: "check", Err: ce}
+				return
+			}
 			err = &sim.RunError{
 				Workload: wl.Name, Stage: "measure", Panicked: true,
 				Err: fmt.Errorf("recovered panic: %v", r),

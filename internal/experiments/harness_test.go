@@ -232,3 +232,64 @@ func TestRunMatrixDoesNotRetryDeterministicStalls(t *testing.T) {
 		t.Fatalf("ledger error %v is not a StallError", f.Err)
 	}
 }
+
+// TestMatrixLedgersCheckViolations pins the checker/ledger integration: an
+// injected MSHR leak on one workload of a checked matrix must land in the
+// failure ledger as a RunError with stage "check" wrapping a *sim.CheckError
+// — never as a generic recovered panic — for both FailFast (panic unwind)
+// and accumulate (returned error) modes, and CheckFailures must isolate
+// exactly those entries.
+func TestMatrixLedgersCheckViolations(t *testing.T) {
+	for _, failFast := range []bool{false, true} {
+		name := "accumulate"
+		if failFast {
+			name = "failfast"
+		}
+		t.Run(name, func(t *testing.T) {
+			good := tinySet(t)[:1]
+			leaky := poisonedWorkload(t)
+			wls := append(append([]trace.Workload{}, good...), leaky)
+
+			o := poisonOpts()
+			o.Check = sim.CheckConfig{Enabled: true, FailFast: failFast}
+			o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
+				if wl.Name == leaky.Name {
+					cfg.FaultInject = faultinject.New(faultinject.Config{MSHRLeakEveryN: 20})
+				}
+			}
+
+			rep, err := RunMatrixCtx(context.Background(), o, wls, []Scenario{scenarioDiscard(), scenarioDripper()})
+			if err != nil {
+				t.Fatalf("campaign-level error: %v", err)
+			}
+			// Healthy pairs completed under full checking.
+			for _, sc := range []string{"Discard PGC", "DRIPPER"} {
+				if rep.Matrix[sc][good[0].Name] == nil {
+					t.Fatalf("checked run %s/%s missing", sc, good[0].Name)
+				}
+			}
+			cf := rep.CheckFailures()
+			if len(cf) != 2 || len(cf) != len(rep.Failures) {
+				t.Fatalf("check failures = %d of %d ledger entries, want 2 of 2: %+v",
+					len(cf), len(rep.Failures), rep.Failures)
+			}
+			for _, f := range cf {
+				if f.Workload != leaky.Name {
+					t.Fatalf("unexpected check failure %s/%s: %v", f.Scenario, f.Workload, f.Err)
+				}
+				var re *sim.RunError
+				if !errors.As(f.Err, &re) || re.Stage != "check" || re.Panicked {
+					t.Fatalf("failure %s/%s not ledgered as a non-panic check stage: %+v",
+						f.Scenario, f.Workload, re)
+				}
+				ce := sim.CheckFailure(f.Err)
+				if ce == nil || ce.First().Invariant != "mshr-leak" {
+					t.Fatalf("failure %s/%s lost the violation detail: %v", f.Scenario, f.Workload, f.Err)
+				}
+				if sim.Retryable(f.Err) {
+					t.Fatal("an invariant violation must not be retried")
+				}
+			}
+		})
+	}
+}

@@ -54,6 +54,16 @@ type Config struct {
 	// across the injector) with a retryable TransientError before any
 	// simulation work happens.
 	FailAttempts int
+
+	// MSHRLeakEveryN, when non-zero, makes every Nth completed fill in the
+	// L1D keep its MSHR forever — a lost release the invariant checker's
+	// MSHR leak-freedom check must catch.
+	MSHRLeakEveryN uint64
+
+	// TLBStaleEveryN, when non-zero, corrupts the physical base of every
+	// Nth dTLB insert — a stale cached PTE the oracle's TLB ⇒ valid-PTE
+	// cross-check must catch.
+	TLBStaleEveryN uint64
 }
 
 // Injector injects the configured faults. Share one across matrix workers
@@ -122,6 +132,22 @@ func (e *TransientError) Unwrap() error { return e.Err }
 
 // Retryable satisfies sim.Retryable's interface probe.
 func (e *TransientError) Retryable() bool { return true }
+
+// MSHRLeakEveryN returns the configured L1D MSHR-leak period (0 disabled).
+func (i *Injector) MSHRLeakEveryN() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.MSHRLeakEveryN
+}
+
+// TLBStaleEveryN returns the configured dTLB stale-PTE period (0 disabled).
+func (i *Injector) TLBStaleEveryN() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.TLBStaleEveryN
+}
 
 // WrapReader wraps a trace reader with the configured record corruption.
 // The record counter is lifetime-monotonic (it deliberately survives Reset)

@@ -91,3 +91,14 @@ func TestWrapReaderPanicsAtRecord(t *testing.T) {
 	}()
 	r.Next()
 }
+
+func TestCheckerFaultAccessors(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.MSHRLeakEveryN() != 0 || nilInj.TLBStaleEveryN() != 0 {
+		t.Fatal("nil injector arms checker faults")
+	}
+	inj := New(Config{MSHRLeakEveryN: 20, TLBStaleEveryN: 5})
+	if inj.MSHRLeakEveryN() != 20 || inj.TLBStaleEveryN() != 5 {
+		t.Fatalf("accessors = %d/%d, want 20/5", inj.MSHRLeakEveryN(), inj.TLBStaleEveryN())
+	}
+}

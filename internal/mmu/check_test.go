@@ -1,0 +1,29 @@
+package mmu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestCheckInvariants sweeps the whole translation path: clean after real
+// traffic, and a stale dTLB frame surfaces through the MMU-level hook.
+func TestCheckInvariants(t *testing.T) {
+	mm, as, _ := newMMU(t)
+	for i := 0; i < 32; i++ {
+		mm.TranslateData(mem.VAddr(0x4000_0000+uint64(i)*mem.PageSize), uint64(i)*100)
+	}
+	mm.TranslateInstr(0x40_0000, 10)
+	if err := mm.CheckInvariants(as.Lookup, 1<<40); err != nil {
+		t.Fatalf("healthy MMU violates: %v", err)
+	}
+
+	mm2, as2, _ := newMMU(t)
+	mm2.DTLB.InjectStalePTE(1)
+	mm2.TranslateData(0x5000_0000, 0)
+	err := mm2.CheckInvariants(as2.Lookup, 1<<40)
+	if err == nil || !strings.HasPrefix(err.Error(), "tlb-stale-pte:") {
+		t.Fatalf("CheckInvariants = %v, want tlb-stale-pte", err)
+	}
+}

@@ -33,6 +33,13 @@ type MMU struct {
 	// Trace, when non-nil, receives a tlb-miss event for every translation
 	// that misses both TLB levels; nil costs one branch per sTLB miss.
 	Trace *metrics.Tracer
+
+	// OnWalkEnd, when non-nil, fires after every page walk completes with
+	// the walked address, the translation fetched, and the cycle it becomes
+	// available. The differential oracle hooks here to cross-check walk
+	// results at walk-complete boundaries; nil (the production default)
+	// costs one branch per walk.
+	OnWalkEnd func(va mem.VAddr, tr vmem.Translation, ready uint64)
 }
 
 // Config sizes the three TLBs (Table IV defaults via DefaultConfig).
@@ -166,7 +173,23 @@ func (m *MMU) translate(l1 *tlb.TLB, va mem.VAddr, cycle uint64, demand, allowWa
 	// brought by page-cross prefetches are stored in both dTLB and sTLB").
 	m.STLB.Insert(va, tr, fromPrefetch)
 	l1.Insert(va, tr, fromPrefetch)
+	if m.OnWalkEnd != nil {
+		m.OnWalkEnd(va, tr, ready)
+	}
 	return Result{Translation: tr, Ready: ready, Source: SrcWalk}
+}
+
+// CheckInvariants verifies the whole translation path: every TLB level's
+// entries against resolve (the reference page table), and the walker's
+// in-flight and PSC bookkeeping at the given cycle. Returns the first
+// violation, nil when clean.
+func (m *MMU) CheckInvariants(resolve func(mem.VAddr) (vmem.Translation, bool), cycle uint64) error {
+	for _, t := range []*tlb.TLB{m.DTLB, m.ITLB, m.STLB} {
+		if err := t.CheckInvariants(resolve); err != nil {
+			return err
+		}
+	}
+	return m.PTW.CheckInvariants(cycle)
 }
 
 // RegisterMetrics exports the whole translation path — all three TLBs and

@@ -1,0 +1,344 @@
+// Package oracle is a functional reference model of the architectural
+// semantics the timing simulator must preserve, plus the bookkeeping that
+// cross-checks the two in lockstep. The timing simulator answers "when";
+// the oracle answers "what", from first principles, in the simplest
+// obviously-correct way:
+//
+//   - address translation: a virtual page translates through the 5-level
+//     radix walk (4 levels for 2MB pages) to exactly one frame, the walk
+//     reads descend one level per step, and each entry read lands at the
+//     radix-index offset inside its table frame;
+//   - translation stability: once observed, a (page → frame) mapping never
+//     changes for the life of the run, and two pages never share a frame
+//     unless the allocator has declared out-of-memory wraparound;
+//   - structure sanity: TLB content resolves against the reference page
+//     table, MSHRs are leak-free and bounded, ROB occupancy stays within
+//     capacity, and filter metadata stays within its saturation bounds
+//     (delegated to the components' own CheckInvariants hooks).
+//
+// The checker records violations rather than failing on the first one, so a
+// single run can report every distinct breach; the harness converts the
+// accumulated set into a CheckError. The package deliberately does not
+// import the sim package (sim imports the oracle), so component hooks
+// return plain errors with stable "invariant-name:" prefixes that the
+// checker parses into typed Violations.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/prefetch"
+	"repro/internal/vmem"
+)
+
+// Violation is one observed breach of an architectural invariant.
+type Violation struct {
+	// Invariant is the stable machine-readable name ("mshr-leak",
+	// "tlb-stale-pte", "walk-shape", ...).
+	Invariant string
+	// Component locates the breach ("l1d", "dtlb", "ptw", "core",
+	// "filter", "oracle").
+	Component string
+	// Cycle is the core cycle at which the breach was detected.
+	Cycle uint64
+	// Detail is the human-readable diagnostic.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s@%s cycle %d: %s", v.Invariant, v.Component, v.Cycle, v.Detail)
+}
+
+// CheckError aggregates the violations of one run. It is never retryable:
+// the same deterministic trace would violate again.
+type CheckError struct {
+	Violations []*Violation
+	// Truncated reports that the violation budget was exhausted and further
+	// breaches went unrecorded.
+	Truncated bool
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	if len(e.Violations) == 0 {
+		return "oracle: check failed with no recorded violations"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle: %d invariant violation(s)", len(e.Violations))
+	if e.Truncated {
+		b.WriteString(" (truncated)")
+	}
+	for i, v := range e.Violations {
+		if i >= 4 {
+			fmt.Fprintf(&b, "; +%d more", len(e.Violations)-i)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(v.Error())
+	}
+	return b.String()
+}
+
+// Retryable marks check failures as permanent for the harness's retry probe.
+func (e *CheckError) Retryable() bool { return false }
+
+// First returns the first recorded violation (nil when none).
+func (e *CheckError) First() *Violation {
+	if len(e.Violations) == 0 {
+		return nil
+	}
+	return e.Violations[0]
+}
+
+// DefaultMaxViolations bounds how many violations one run records.
+const DefaultMaxViolations = 16
+
+// Components wires the checker to one core's structures. AS is required;
+// every other field may be nil and its checks are skipped.
+type Components struct {
+	AS     *vmem.AddressSpace
+	MMU    *mmu.MMU
+	Core   *cpu.Core
+	Caches []*cache.Cache
+	// CacheNames labels Caches positionally for violation reports; missing
+	// names fall back to the index.
+	CacheNames []string
+	Filter     *core.Filter
+	Prefetcher prefetch.Prefetcher
+}
+
+// Checker is the reference model for one core, accumulating violations.
+type Checker struct {
+	c   Components
+	max int
+
+	// shadow is the translation history: page key → frame base observed.
+	// Keyed by VPN<<1|kind so 4KB and 2MB pages cannot collide.
+	shadow map[uint64]mem.PAddr
+	// frames is the reverse map for the no-aliasing check.
+	frames map[mem.PAddr]uint64
+
+	violations []*Violation
+	truncated  bool
+}
+
+// New builds a checker over the given components. maxViolations ≤ 0 selects
+// DefaultMaxViolations.
+func New(c Components, maxViolations int) (*Checker, error) {
+	if c.AS == nil {
+		return nil, fmt.Errorf("oracle: nil address space")
+	}
+	if maxViolations <= 0 {
+		maxViolations = DefaultMaxViolations
+	}
+	return &Checker{
+		c:      c,
+		max:    maxViolations,
+		shadow: make(map[uint64]mem.PAddr),
+		frames: make(map[mem.PAddr]uint64),
+	}, nil
+}
+
+// pageKey folds a translation's page identity into the shadow-map key.
+func pageKey(va mem.VAddr, kind mem.PageSizeKind) uint64 {
+	if kind == mem.Page2M {
+		return va.LargePageID()<<1 | 1
+	}
+	return va.PageID() << 1
+}
+
+// record registers a violation unless the budget is spent. Returns false
+// once the budget is exhausted so callers can stop checking.
+func (k *Checker) record(v *Violation) bool {
+	if len(k.violations) >= k.max {
+		k.truncated = true
+		return false
+	}
+	k.violations = append(k.violations, v)
+	return true
+}
+
+// recordErr parses a component hook's prefixed error ("invariant-name:
+// detail") into a Violation.
+func (k *Checker) recordErr(component string, cycle uint64, err error) bool {
+	name, detail := "invariant", err.Error()
+	if i := strings.Index(detail, ":"); i > 0 {
+		name, detail = detail[:i], strings.TrimSpace(detail[i+1:])
+	}
+	return k.record(&Violation{Invariant: name, Component: component, Cycle: cycle, Detail: detail})
+}
+
+// Violations returns the recorded breaches (nil when clean).
+func (k *Checker) Violations() []*Violation { return k.violations }
+
+// Err returns the accumulated CheckError, nil when the run is clean.
+func (k *Checker) Err() *CheckError {
+	if len(k.violations) == 0 {
+		return nil
+	}
+	return &CheckError{Violations: k.violations, Truncated: k.truncated}
+}
+
+// OnWalkEnd cross-checks one completed page walk — the walk-complete
+// boundary of the differential scheme. It recomputes the translation from
+// the reference page table and verifies the timing simulator's result
+// against the reference semantics: resolvable, aligned, in-bounds, stable
+// across the run, and alias-free.
+func (k *Checker) OnWalkEnd(va mem.VAddr, tr vmem.Translation, ready uint64) {
+	if len(k.violations) >= k.max {
+		k.truncated = true
+		return
+	}
+	ref, ok := k.c.AS.Lookup(va)
+	if !ok {
+		k.record(&Violation{Invariant: "walk-unmapped", Component: "oracle", Cycle: ready,
+			Detail: fmt.Sprintf("walk for va %#x completed but the page table holds no mapping", uint64(va))})
+		return
+	}
+	if ref != tr {
+		k.record(&Violation{Invariant: "walk-result", Component: "oracle", Cycle: ready,
+			Detail: fmt.Sprintf("walk for va %#x returned base %#x kind %s, reference says base %#x kind %s",
+				uint64(va), uint64(tr.Base), tr.Kind, uint64(ref.Base), ref.Kind)})
+		return
+	}
+	k.checkTranslation(va, tr, ready)
+	k.checkWalkShape(va, tr, ready)
+}
+
+// checkTranslation applies the frame-level semantics: alignment, physical
+// bounds, stability, and aliasing-freedom (unless the allocator wrapped).
+func (k *Checker) checkTranslation(va mem.VAddr, tr vmem.Translation, cycle uint64) {
+	size := uint64(mem.PageSize)
+	if tr.Kind == mem.Page2M {
+		size = mem.LargePageSize
+	}
+	if uint64(tr.Base)%size != 0 {
+		k.record(&Violation{Invariant: "frame-alignment", Component: "oracle", Cycle: cycle,
+			Detail: fmt.Sprintf("va %#x maps to base %#x, not %d-aligned", uint64(va), uint64(tr.Base), size)})
+		return
+	}
+	if uint64(tr.Base)+size > k.c.AS.MemBytes() {
+		k.record(&Violation{Invariant: "frame-bounds", Component: "oracle", Cycle: cycle,
+			Detail: fmt.Sprintf("va %#x maps to frame [%#x,%#x) beyond physical memory %#x",
+				uint64(va), uint64(tr.Base), uint64(tr.Base)+size, k.c.AS.MemBytes())})
+		return
+	}
+	key := pageKey(va, tr.Kind)
+	if prev, seen := k.shadow[key]; seen {
+		if prev != tr.Base {
+			k.record(&Violation{Invariant: "translation-stability", Component: "oracle", Cycle: cycle,
+				Detail: fmt.Sprintf("va %#x previously translated to base %#x, now %#x",
+					uint64(va), uint64(prev), uint64(tr.Base))})
+		}
+		return
+	}
+	k.shadow[key] = tr.Base
+	if owner, used := k.frames[tr.Base]; used && owner != key && !k.c.AS.Stats().OutOfMemory {
+		k.record(&Violation{Invariant: "frame-aliasing", Component: "oracle", Cycle: cycle,
+			Detail: fmt.Sprintf("frame %#x backs two distinct pages (keys %#x and %#x) without out-of-memory wrap",
+				uint64(tr.Base), owner, key)})
+		return
+	}
+	k.frames[tr.Base] = key
+}
+
+// checkWalkShape recomputes the page-table walk from the reference radix
+// tree and verifies its shape: 5 entry reads for a 4KB translation, 4 for a
+// 2MB one, levels descending root-first, and each read landing at the
+// radix-index offset inside a table frame.
+func (k *Checker) checkWalkShape(va mem.VAddr, tr vmem.Translation, cycle uint64) {
+	steps, wtr := k.c.AS.Walk(va)
+	if wtr != tr {
+		k.record(&Violation{Invariant: "walk-divergence", Component: "oracle", Cycle: cycle,
+			Detail: fmt.Sprintf("reference walk for va %#x yields base %#x kind %s, lookup said base %#x kind %s",
+				uint64(va), uint64(wtr.Base), wtr.Kind, uint64(tr.Base), tr.Kind)})
+		return
+	}
+	want := vmem.NumLevels
+	if tr.Kind == mem.Page2M {
+		want = vmem.LevelPD + 1
+	}
+	if len(steps) != want {
+		k.record(&Violation{Invariant: "walk-shape", Component: "oracle", Cycle: cycle,
+			Detail: fmt.Sprintf("walk for va %#x (%s) took %d steps, want %d", uint64(va), tr.Kind, len(steps), want)})
+		return
+	}
+	for i, st := range steps {
+		if st.Level != i {
+			k.record(&Violation{Invariant: "walk-shape", Component: "oracle", Cycle: cycle,
+				Detail: fmt.Sprintf("walk for va %#x step %d reads level %s, want %s",
+					uint64(va), i, vmem.LevelName(st.Level), vmem.LevelName(i))})
+			return
+		}
+		wantOff := vmem.LevelIndex(va, i) * vmem.EntryBytes
+		if uint64(st.PA)%mem.PageSize != wantOff {
+			k.record(&Violation{Invariant: "walk-entry-offset", Component: "oracle", Cycle: cycle,
+				Detail: fmt.Sprintf("walk for va %#x level %s entry at pa %#x, offset %d ≠ index %d × %d",
+					uint64(va), vmem.LevelName(i), uint64(st.PA), uint64(st.PA)%mem.PageSize,
+					vmem.LevelIndex(va, i), vmem.EntryBytes)})
+			return
+		}
+	}
+}
+
+// CheckAll runs every component's invariant hook at the given cycle — the
+// coarse lockstep boundary (poll grain and instruction-retire epochs). It
+// returns the accumulated CheckError, nil while the run is clean.
+func (k *Checker) CheckAll(cycle uint64) *CheckError {
+	if len(k.violations) >= k.max {
+		k.truncated = true
+		return k.Err()
+	}
+	if k.c.Core != nil {
+		if err := k.c.Core.CheckInvariants(); err != nil {
+			k.recordErr("core", cycle, err)
+		}
+	}
+	for i, c := range k.c.Caches {
+		if c == nil {
+			continue
+		}
+		if err := c.CheckInvariants(cycle); err != nil {
+			name := fmt.Sprintf("cache%d", i)
+			if i < len(k.c.CacheNames) {
+				name = k.c.CacheNames[i]
+			}
+			k.recordErr(name, cycle, err)
+		}
+	}
+	if k.c.MMU != nil {
+		if err := k.c.MMU.CheckInvariants(k.c.AS.Lookup, cycle); err != nil {
+			k.recordErr("mmu", cycle, err)
+		}
+	}
+	k.CheckMetadata(cycle)
+	return k.Err()
+}
+
+// CheckMetadata verifies the page-cross filter and prefetcher metadata
+// bounds — the instruction-retire (epoch) boundary check, cheap enough to
+// run at every filter Tick.
+func (k *Checker) CheckMetadata(cycle uint64) *CheckError {
+	if len(k.violations) >= k.max {
+		k.truncated = true
+		return k.Err()
+	}
+	if k.c.Filter != nil {
+		if err := k.c.Filter.CheckBounds(); err != nil {
+			k.recordErr("filter", cycle, err)
+		}
+	}
+	if k.c.Prefetcher != nil {
+		if err := prefetch.CheckInvariants(k.c.Prefetcher); err != nil {
+			k.recordErr("prefetcher", cycle, err)
+		}
+	}
+	return k.Err()
+}

@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+func newAS(t *testing.T, large bool) *vmem.AddressSpace {
+	t.Helper()
+	as, err := vmem.New(vmem.Config{MemBytes: 1 << 30, LargePages: large, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func newChecker(t *testing.T, as *vmem.AddressSpace, max int) *Checker {
+	t.Helper()
+	k, err := New(Components{AS: as}, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewRequiresAddressSpace(t *testing.T) {
+	if _, err := New(Components{}, 0); err == nil {
+		t.Fatal("nil address space accepted")
+	}
+}
+
+// TestOnWalkEndClean feeds the checker correct walk results, 4KB and 2MB,
+// repeatedly: a faithful simulator must accumulate zero violations.
+func TestOnWalkEndClean(t *testing.T) {
+	as := newAS(t, true)
+	k := newChecker(t, as, 0)
+	for i := 0; i < 64; i++ {
+		va := mem.VAddr(uint64(i) * 3 << 20) // crosses 2MB regions
+		tr := as.Translate(va)
+		k.OnWalkEnd(va, tr, uint64(i))
+		k.OnWalkEnd(va, tr, uint64(i)) // revisit: stability must hold
+	}
+	if err := k.Err(); err != nil {
+		t.Fatalf("clean walks produced violations: %v", err)
+	}
+}
+
+// TestOnWalkEndWrongBase is the core differential property: a walk whose
+// frame disagrees with the reference page table is flagged as walk-result.
+func TestOnWalkEndWrongBase(t *testing.T) {
+	as := newAS(t, false)
+	k := newChecker(t, as, 0)
+	va := mem.VAddr(0x40_0000)
+	tr := as.Translate(va)
+	tr.Base ^= mem.PAddr(1) << 20
+	k.OnWalkEnd(va, tr, 9)
+	v := k.Err().First()
+	if v == nil || v.Invariant != "walk-result" || v.Component != "oracle" || v.Cycle != 9 {
+		t.Fatalf("violation = %+v, want walk-result@oracle cycle 9", v)
+	}
+}
+
+// TestOnWalkEndUnmapped flags a completed walk for a page the reference
+// table never mapped.
+func TestOnWalkEndUnmapped(t *testing.T) {
+	as := newAS(t, false)
+	k := newChecker(t, as, 0)
+	k.OnWalkEnd(mem.VAddr(0xdead_0000), vmem.Translation{Base: 0, Kind: mem.Page4K}, 3)
+	if v := k.Err().First(); v == nil || v.Invariant != "walk-unmapped" {
+		t.Fatalf("violation = %+v, want walk-unmapped", v)
+	}
+}
+
+// TestCheckTranslationSemantics drives the frame-level checks directly with
+// synthetic translations: misalignment, out-of-bounds frames, an unstable
+// remap, and two pages aliasing one frame must each produce their named
+// violation.
+func TestCheckTranslationSemantics(t *testing.T) {
+	as := newAS(t, false)
+	va := mem.VAddr(0x1000_0000)
+
+	t.Run("frame-alignment", func(t *testing.T) {
+		k := newChecker(t, as, 0)
+		k.checkTranslation(va, vmem.Translation{Base: 0x1004, Kind: mem.Page4K}, 1)
+		if v := k.Err().First(); v == nil || v.Invariant != "frame-alignment" {
+			t.Fatalf("violation = %+v", v)
+		}
+	})
+	t.Run("frame-bounds", func(t *testing.T) {
+		k := newChecker(t, as, 0)
+		base := mem.PAddr(as.MemBytes()) // first frame past the end, aligned
+		k.checkTranslation(va, vmem.Translation{Base: base, Kind: mem.Page4K}, 1)
+		if v := k.Err().First(); v == nil || v.Invariant != "frame-bounds" {
+			t.Fatalf("violation = %+v", v)
+		}
+	})
+	t.Run("translation-stability", func(t *testing.T) {
+		k := newChecker(t, as, 0)
+		k.checkTranslation(va, vmem.Translation{Base: 0x1000, Kind: mem.Page4K}, 1)
+		k.checkTranslation(va, vmem.Translation{Base: 0x2000, Kind: mem.Page4K}, 2)
+		if v := k.Err().First(); v == nil || v.Invariant != "translation-stability" {
+			t.Fatalf("violation = %+v", v)
+		}
+	})
+	t.Run("frame-aliasing", func(t *testing.T) {
+		k := newChecker(t, as, 0)
+		k.checkTranslation(va, vmem.Translation{Base: 0x1000, Kind: mem.Page4K}, 1)
+		k.checkTranslation(va+mem.VAddr(mem.PageSize), vmem.Translation{Base: 0x1000, Kind: mem.Page4K}, 2)
+		if v := k.Err().First(); v == nil || v.Invariant != "frame-aliasing" {
+			t.Fatalf("violation = %+v", v)
+		}
+	})
+	t.Run("same-page-both-sizes-no-collision", func(t *testing.T) {
+		// A 4KB page and a 2MB page with numerically equal page IDs must not
+		// collide in the shadow map.
+		k := newChecker(t, as, 0)
+		k.checkTranslation(0, vmem.Translation{Base: 0x1000, Kind: mem.Page4K}, 1)
+		k.checkTranslation(0, vmem.Translation{Base: 0x20_0000, Kind: mem.Page2M}, 2)
+		if err := k.Err(); err != nil {
+			t.Fatalf("distinct page kinds collided: %v", err)
+		}
+	})
+}
+
+// TestViolationBudget proves the checker stops recording at its budget and
+// marks the set truncated rather than growing without bound.
+func TestViolationBudget(t *testing.T) {
+	as := newAS(t, false)
+	k := newChecker(t, as, 2)
+	for i := 0; i < 5; i++ {
+		k.OnWalkEnd(mem.VAddr(uint64(i)<<12|0xbeef_0000), vmem.Translation{}, uint64(i))
+	}
+	err := k.Err()
+	if err == nil || len(err.Violations) != 2 || !err.Truncated {
+		t.Fatalf("err = %+v, want 2 violations and truncation", err)
+	}
+}
+
+// TestRecordErrParsing pins the component-hook contract: "invariant-name:
+// detail" errors parse into typed violations, and unprefixed errors degrade
+// to the generic invariant name instead of being dropped.
+func TestRecordErrParsing(t *testing.T) {
+	as := newAS(t, false)
+	k := newChecker(t, as, 0)
+	k.recordErr("l1d", 42, errors.New("mshr-leak: line 0xabc never released"))
+	k.recordErr("dtlb", 43, errors.New("completely unprefixed message"))
+	vs := k.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("recorded %d violations", len(vs))
+	}
+	if vs[0].Invariant != "mshr-leak" || vs[0].Component != "l1d" || vs[0].Detail != "line 0xabc never released" {
+		t.Fatalf("parsed violation = %+v", vs[0])
+	}
+	if vs[1].Invariant != "invariant" || !strings.Contains(vs[1].Detail, "unprefixed") {
+		t.Fatalf("fallback violation = %+v", vs[1])
+	}
+}
+
+// TestCheckErrorFormat keeps the aggregated message readable: a count, the
+// leading violations, and an elision marker past four.
+func TestCheckErrorFormat(t *testing.T) {
+	var vs []*Violation
+	for i := 0; i < 6; i++ {
+		vs = append(vs, &Violation{Invariant: "mshr-leak", Component: "l1d", Cycle: uint64(i), Detail: "x"})
+	}
+	e := &CheckError{Violations: vs, Truncated: true}
+	msg := e.Error()
+	for _, want := range []string{"6 invariant violation(s)", "(truncated)", "+2 more", "mshr-leak@l1d"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+	if e.Retryable() {
+		t.Fatal("check errors must not be retryable")
+	}
+	if (&CheckError{}).Error() == "" || (&CheckError{}).First() != nil {
+		t.Fatal("empty CheckError mishandled")
+	}
+}

@@ -1,0 +1,52 @@
+package prefetch
+
+import "fmt"
+
+// CheckInvariants verifies the metadata bounds of a prefetch engine: FDP
+// aggressiveness within its ladder, BOP round state within its scoring
+// bounds, Berti confidence counters within their saturation range. Engines
+// without checkable metadata pass trivially. Returns the first violation,
+// nil when clean.
+func CheckInvariants(p Prefetcher) error {
+	switch e := p.(type) {
+	case *Throttle:
+		if e.level < 1 || e.level > fdpLevels {
+			return fmt.Errorf("fdp-level-range: aggressiveness %d outside [1,%d]", e.level, fdpLevels)
+		}
+		return CheckInvariants(e.Engine)
+	case *BOP:
+		if e.testIdx < 0 || e.testIdx >= len(bopOffsets) {
+			return fmt.Errorf("bop-test-index: %d outside [0,%d)", e.testIdx, len(bopOffsets))
+		}
+		if e.roundLen < 0 || e.roundLen > bopRoundMax {
+			return fmt.Errorf("bop-round-length: %d outside [0,%d]", e.roundLen, bopRoundMax)
+		}
+		for i, s := range e.scores {
+			if s < 0 || s > bopScoreMax {
+				return fmt.Errorf("bop-score-bounds: offset %d scored %d outside [0,%d]", bopOffsets[i], s, bopScoreMax)
+			}
+		}
+		return nil
+	case *Berti:
+		for t := range e.table {
+			ent := &e.table[t]
+			if ent.histPos < 0 || ent.histPos >= bertiHistoryLen {
+				return fmt.Errorf("berti-hist-pos: entry %d history position %d outside [0,%d)", t, ent.histPos, bertiHistoryLen)
+			}
+			for j := range ent.deltas {
+				d := &ent.deltas[j]
+				if !d.valid {
+					continue
+				}
+				if d.conf < 0 || d.conf > bertiConfMax {
+					return fmt.Errorf("berti-conf-bounds: entry %d delta %d confidence %d outside [0,%d]", t, d.delta, d.conf, bertiConfMax)
+				}
+				if d.delta == 0 || d.delta > bertiMaxDelta || d.delta < -bertiMaxDelta {
+					return fmt.Errorf("berti-delta-bounds: entry %d tracks delta %d outside ±%d", t, d.delta, bertiMaxDelta)
+				}
+			}
+		}
+		return nil
+	}
+	return nil
+}

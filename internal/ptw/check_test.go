@@ -1,0 +1,52 @@
+package ptw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+func TestCheckInvariants(t *testing.T) {
+	w, as := newWalker(t, &flatMem{latency: 10}, false)
+	for i := 0; i < 16; i++ {
+		va := mem.VAddr(uint64(i) << 21)
+		w.Walk(va, uint64(i), false)
+		_ = as.Translate(va)
+		if err := w.CheckInvariants(uint64(i)); err != nil {
+			t.Fatalf("healthy walker violates: %v", err)
+		}
+	}
+	// All walks long complete: lazy gc must retire them before judging.
+	if err := w.CheckInvariants(1 << 40); err != nil {
+		t.Fatalf("post-completion check: %v", err)
+	}
+
+	t.Run("live-walks-not-flagged", func(t *testing.T) {
+		w, _ := newWalker(t, &flatMem{latency: 10}, false)
+		w.inflight[0xdef] = &inflightWalk{ready: 1 << 40}
+		if err := w.CheckInvariants(50); err != nil {
+			t.Fatalf("live walk flagged: %v", err)
+		}
+	})
+	t.Run("ptw-inflight-overflow", func(t *testing.T) {
+		w, _ := newWalker(t, &flatMem{latency: 10}, false)
+		for i := 0; i <= w.cfg.MaxInflight; i++ {
+			w.inflight[uint64(i)] = &inflightWalk{ready: 1 << 40}
+		}
+		if err := w.CheckInvariants(0); err == nil || !strings.HasPrefix(err.Error(), "ptw-inflight-overflow:") {
+			t.Fatalf("CheckInvariants = %v", err)
+		}
+	})
+	t.Run("psc-overflow", func(t *testing.T) {
+		w, _ := newWalker(t, &flatMem{latency: 10}, false)
+		p := w.pscs[vmem.LevelPD]
+		for i := 0; i <= p.cap; i++ {
+			p.entries[uint64(i)] = uint64(i)
+		}
+		if err := w.CheckInvariants(0); err == nil || !strings.HasPrefix(err.Error(), "psc-overflow:") {
+			t.Fatalf("CheckInvariants = %v", err)
+		}
+	})
+}

@@ -234,6 +234,28 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 	return tr, ready
 }
 
+// CheckInvariants verifies walker structural invariants at the given cycle:
+// after retiring finished walks, outstanding walks never exceed MaxInflight,
+// walk completion times are sane, and no page-structure cache has grown past
+// its configured capacity. Returns the first violation, nil when clean.
+func (w *Walker) CheckInvariants(cycle uint64) error {
+	w.gc(cycle)
+	if got := len(w.inflight); got > w.cfg.MaxInflight {
+		return fmt.Errorf("ptw-inflight-overflow: %d walks outstanding with MaxInflight %d", got, w.cfg.MaxInflight)
+	}
+	for vpn, fl := range w.inflight {
+		if fl.ready <= cycle {
+			return fmt.Errorf("ptw-walk-leak: walk for vpn %#x completed at cycle %d but was not retired at cycle %d", vpn, fl.ready, cycle)
+		}
+	}
+	for l, p := range w.pscs {
+		if len(p.entries) > p.cap {
+			return fmt.Errorf("psc-overflow: %s PSC holds %d entries with capacity %d", vmem.LevelName(l), len(p.entries), p.cap)
+		}
+	}
+	return nil
+}
+
 // RegisterMetrics exports the walker's statistics and its walk-depth
 // distribution (memory reads per walk, after PSC skipping) into a metrics
 // registry under prefix ("ptw").

@@ -1,0 +1,151 @@
+// Differential test harness: drives recorded instruction streams through a
+// checked system (timing simulator + lockstep oracle), and when a run
+// violates an invariant, shrinks the stream ddmin-style to a minimal
+// reproducing trace and writes it to testdata/repro/ in the package's
+// binary trace format, so the failure replays without the generator that
+// produced it.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// DiffConfig adapts a configuration for a differential run over a recorded
+// stream of n instructions: checks on, no warmup (the whole stream is
+// measured), budget pinned to the stream length.
+func DiffConfig(base Config, n int) Config {
+	base.Check.Enabled = true
+	base.Check.FailFast = false
+	base.WarmupInstrs = 0
+	base.SimInstrs = uint64(n)
+	return base
+}
+
+// DiffTrace runs one recorded instruction stream through a checked system.
+// It returns nil when the timing simulator and the oracle agree; a
+// *RunError wrapping a *CheckError when an invariant was violated; any
+// other *RunError for non-check failures (stalls, cancellation).
+func DiffTrace(cfg Config, name string, instrs []trace.Instr) error {
+	_, _, err := RunTraceSystem(context.Background(), DiffConfig(cfg, len(instrs)), name, "diff", trace.NewSliceReader(instrs))
+	return err
+}
+
+// CheckFailure extracts the *CheckError from a run failure; nil when err is
+// nil or has another cause.
+func CheckFailure(err error) *CheckError {
+	var ce *CheckError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return nil
+}
+
+// ShrinkTrace minimises instrs with the ddmin algorithm: it repeatedly
+// removes chunks (halving granularity as chunks stop being removable) while
+// failing keeps returning true, and returns the smallest failing stream
+// found. failing must be deterministic; it is never called with an empty
+// slice, and the input itself is assumed failing.
+func ShrinkTrace(instrs []trace.Instr, failing func([]trace.Instr) bool) []trace.Instr {
+	cur := instrs
+	parts := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + parts - 1) / parts
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := min(start+chunk, len(cur))
+			cand := make([]trace.Instr, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && failing(cand) {
+				cur = cand
+				parts = max(parts-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if parts >= len(cur) {
+				break
+			}
+			parts = min(parts*2, len(cur))
+		}
+	}
+	return cur
+}
+
+// WriteRepro writes a reproducing stream to dir/<name>.trace in the binary
+// trace format and returns the path. Path separators and spaces in name are
+// flattened so workload names ("spec.stream_s00") map to one file each.
+func WriteRepro(dir, name string, instrs []trace.Instr) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("sim: creating repro dir: %w", err)
+	}
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ' ', ':':
+			return '-'
+		}
+		return r
+	}, name)
+	path := filepath.Join(dir, clean+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("sim: creating repro file: %w", err)
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, instrs); err != nil {
+		return "", fmt.Errorf("sim: writing repro: %w", err)
+	}
+	return path, nil
+}
+
+// DiffResult reports one differential run's outcome.
+type DiffResult struct {
+	// Err is the check failure (nil when the run was clean).
+	Err *CheckError
+	// Minimal is the shrunken reproducing stream (nil when clean).
+	Minimal []trace.Instr
+	// ReproPath is where the minimal stream was written ("" when clean or
+	// no repro directory was given).
+	ReproPath string
+}
+
+// DiffWorkload records n instructions of w, runs them through a checked
+// system, and on an invariant violation shrinks the stream to a minimal
+// repro. reproDir, when non-empty, receives the minimal trace file. A
+// non-check failure (stall, build error) is returned as err with a zero
+// result.
+func DiffWorkload(cfg Config, w trace.Workload, n int, reproDir string) (DiffResult, error) {
+	r, err := w.NewReader()
+	if err != nil {
+		return DiffResult{}, err
+	}
+	instrs := trace.Record(r, n)
+	runErr := DiffTrace(cfg, w.Name, instrs)
+	if runErr == nil {
+		return DiffResult{}, nil
+	}
+	ce := CheckFailure(runErr)
+	if ce == nil {
+		return DiffResult{}, runErr
+	}
+	minimal := ShrinkTrace(instrs, func(cand []trace.Instr) bool {
+		return CheckFailure(DiffTrace(cfg, w.Name, cand)) != nil
+	})
+	res := DiffResult{Err: ce, Minimal: minimal}
+	if reproDir != "" {
+		path, werr := WriteRepro(reproDir, w.Name, minimal)
+		if werr != nil {
+			return res, werr
+		}
+		res.ReproPath = path
+	}
+	return res, nil
+}

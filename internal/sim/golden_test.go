@@ -17,13 +17,26 @@ import (
 //	go test ./internal/sim -run TestGoldenSnapshots -update
 var update = flag.Bool("update", false, "rewrite golden metric snapshots under testdata/golden")
 
-// goldenWorkloads are three small fixed-seed workloads with distinct memory
+// goldenWorkloads are small fixed-seed workloads with distinct memory
 // behaviour: a page-friendly stream, a page-hopping pattern that exercises
-// the page-cross path, and an irregular graph traversal.
+// the page-cross path, and an irregular graph traversal from the seen
+// split, plus one unseen-split workload per generator family (the §V-B8
+// generalisation set) so fingerprint drift on the unseen salt is caught
+// too.
 var goldenWorkloads = []string{
 	"spec.stream_s00",
 	"spec.pagehop_s00",
 	"gap.graph_s00",
+	// Unseen split, one per family (spec.hot_00 is the non-intensive "hot"
+	// family, which only exists outside the seen split).
+	"spec.stream_u00",
+	"spec.pagehop_u00",
+	"spec.chase_u00",
+	"gap.graph_u00",
+	"parsec.parsec_u00",
+	"gkb5.phased_u00",
+	"qmm_int.qmm_u00",
+	"spec.hot_00",
 }
 
 // goldenConfig is deliberately tiny: the goal is a stable fingerprint of the
@@ -98,5 +111,55 @@ func TestGoldenSnapshots(t *testing.T) {
 			}
 			t.Fatalf("metrics snapshot drifted from %s; review the per-counter diff above and accept deliberate changes with -update", path)
 		})
+	}
+}
+
+// TestGeneratorDeterminism pins the property the golden suite (and every
+// repro trace) depends on: a workload's generator yields the identical
+// instruction stream from every fresh reader, and the seen/unseen splits of
+// the same family diverge (they are salted differently, so the unseen
+// goldens genuinely exercise different streams).
+func TestGeneratorDeterminism(t *testing.T) {
+	record := func(name string) []trace.Instr {
+		t.Helper()
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		r, err := w.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Record(r, 2_000)
+	}
+	for _, name := range goldenWorkloads {
+		a, b := record(name), record(name)
+		if len(a) != len(b) {
+			t.Fatalf("%s: fresh readers yielded %d vs %d instructions", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs across fresh readers: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+	for _, pair := range [][2]string{
+		{"spec.stream_s00", "spec.stream_u00"},
+		{"spec.pagehop_s00", "spec.pagehop_u00"},
+		{"gap.graph_s00", "gap.graph_u00"},
+	} {
+		seen, unseen := record(pair[0]), record(pair[1])
+		same := len(seen) == len(unseen)
+		if same {
+			for i := range seen {
+				if seen[i] != unseen[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s and %s produced identical streams; the unseen salt is not applied", pair[0], pair[1])
+		}
 	}
 }

@@ -133,7 +133,26 @@ func (m *MultiSystem) RunMixCtx(ctx context.Context, mix []trace.Workload) ([]*s
 			return nil, err
 		}
 	}
+	if err := m.checkSweep(); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// checkSweep runs every core's invariant checker once — the multi-core
+// analogue of the single-core poll-grain sweep. Cores without a checker
+// (Check disabled) cost one nil comparison each.
+func (m *MultiSystem) checkSweep() error {
+	for _, sys := range m.Systems {
+		if sys.checker == nil {
+			continue
+		}
+		sys.runChecks(sys.Core.Cycle())
+		if err := sys.checker.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // interleave steps all cores in round-robin quanta until every core is done.
@@ -165,20 +184,36 @@ type multiWatchdog struct {
 	lastRetired uint64
 	idleSweeps  uint64 // consecutive sweeps without any retirement
 	sweeps      uint64
+	// checkEverySweeps is the invariant-check grain in sweeps (0 when no
+	// core has a checker), sized so checks fire at roughly the single-core
+	// PollEvery cycle grain.
+	checkEverySweeps uint64
 }
 
 func newMultiWatchdog(m *MultiSystem) *multiWatchdog {
-	return &multiWatchdog{m: m, wd: m.cfg.PerCore.Watchdog.withDefaults()}
+	w := &multiWatchdog{m: m, wd: m.cfg.PerCore.Watchdog.withDefaults()}
+	if m.cfg.PerCore.Check.Enabled {
+		w.checkEverySweeps = w.wd.PollEvery / m.cfg.QuantumCycles
+		if w.checkEverySweeps == 0 {
+			w.checkEverySweeps = 1
+		}
+	}
+	return w
 }
 
 func (w *multiWatchdog) check(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	w.sweeps++
+	if n := w.checkEverySweeps; n > 0 && w.sweeps%n == 0 {
+		if err := w.m.checkSweep(); err != nil {
+			return err
+		}
+	}
 	if w.wd.Disable {
 		return nil
 	}
-	w.sweeps++
 	total := uint64(0)
 	for _, sys := range w.m.Systems {
 		total += sys.Core.RetiredTotal()

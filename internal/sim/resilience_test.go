@@ -3,6 +3,9 @@ package sim
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -181,5 +184,55 @@ func TestRunMixWatchdogCatchesStall(t *testing.T) {
 	}
 	if stall.Reason != StallNoRetire {
 		t.Fatalf("reason = %s", stall.Reason)
+	}
+}
+
+// TestRaceMulticoreDifferential runs checked sim-vs-oracle mixes on the
+// multicore path with several campaigns in flight at GOMAXPROCS=4. Its value
+// is under the race detector (the CI checks job runs this suite with -race):
+// the per-core checkers, the shared LLC/DRAM, and the sweep grain must not
+// introduce cross-goroutine hazards.
+func TestRaceMulticoreDifferential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	mixes := [][2]string{
+		{"spec.stream_s00", "spec.pagehop_s00"},
+		{"gap.graph_s00", "qmm_int.qmm_s00"},
+		{"spec.stream_u00", "gap.graph_u00"},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(mixes))
+	for i, names := range mixes {
+		wg.Add(1)
+		go func(i int, names [2]string) {
+			defer wg.Done()
+			mc := DefaultMultiConfig()
+			mc.Cores = 2
+			mc.PerCore.WarmupInstrs = 2_000
+			mc.PerCore.SimInstrs = 8_000
+			mc.PerCore.Check.Enabled = true
+			m, err := NewMulti(mc)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var mix []trace.Workload
+			for _, n := range names {
+				w, ok := trace.ByName(n)
+				if !ok {
+					errs[i] = fmt.Errorf("workload %s missing", n)
+					return
+				}
+				mix = append(mix, w)
+			}
+			_, errs[i] = m.RunMixCtx(context.Background(), mix)
+		}(i, names)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("mix %v: checked differential run failed: %v", mixes[i], err)
+		}
 	}
 }

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/mmu"
+	"repro/internal/oracle"
 	"repro/internal/prefetch"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -96,9 +98,15 @@ type Config struct {
 	Watchdog WatchdogConfig
 
 	// FaultInject, when non-nil, wires fault-injection hooks into the run
-	// (stalled loads, inflated memory latency, corrupted trace records);
-	// nil — the production value — injects nothing.
+	// (stalled loads, inflated memory latency, corrupted trace records,
+	// MSHR leaks, stale TLB entries); nil — the production value — injects
+	// nothing.
 	FaultInject *faultinject.Injector
+
+	// Check enables the differential oracle and runtime invariant checker
+	// (see CheckConfig); its zero value disables checking at zero hot-path
+	// cost.
+	Check CheckConfig
 }
 
 // WatchdogConfig bounds a run's forward progress. A simulated core that
@@ -211,6 +219,10 @@ type System struct {
 	// DebugLoadLatency, when non-nil, observes every demand load's
 	// (request cycle, ready cycle); diagnostics only.
 	DebugLoadLatency func(cycle, ready uint64)
+
+	// checker is the lockstep oracle; nil unless Config.Check.Enabled, and
+	// every hot-path hook guards on that nil.
+	checker *oracle.Checker
 }
 
 type epochCounters struct {
@@ -413,6 +425,21 @@ func newSystem(cfg Config, sharedLLC *cache.Cache, sharedDRAM *dram.DRAM) (*Syst
 			return nil, err
 		}
 		s.MMU.SetTracer(s.Tracer)
+	}
+
+	// Fault-injection knobs that live inside components (nil injector →
+	// both return 0 → nothing is armed).
+	if n := cfg.FaultInject.MSHRLeakEveryN(); n > 0 {
+		s.L1D.InjectMSHRLeak(n)
+	}
+	if n := cfg.FaultInject.TLBStaleEveryN(); n > 0 {
+		s.MMU.DTLB.InjectStalePTE(n)
+	}
+
+	if cfg.Check.Enabled {
+		if err := s.buildChecker(); err != nil {
+			return nil, err
+		}
 	}
 	s.registerMetrics(sharedLLC == nil, sharedDRAM == nil)
 	return s, nil
@@ -647,6 +674,10 @@ func (s *System) epoch(cycle, retired uint64) {
 		state.IPC = dInstr / float64(dc)
 	}
 	s.Policy.Tick(state)
+	if s.checker != nil {
+		// Instruction-retire boundary: metadata bounds after every Tick.
+		s.checker.CheckMetadata(cycle)
+	}
 }
 
 // ResetStats zeroes all statistics (after warmup) while preserving
@@ -699,6 +730,9 @@ func (s *System) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if s.checker != nil {
+			s.runChecks(s.Core.Cycle())
+		}
 		if wd.Disable {
 			continue
 		}
@@ -710,6 +744,15 @@ func (s *System) Run(ctx context.Context) error {
 		if wd.MaxCycles > 0 && cycle-start > wd.MaxCycles {
 			s.Tracer.Emit(cycle, metrics.EvStallSnapshot, s.Core.RetiredTotal(), s.Core.LastRetireCycle())
 			return &StallError{Reason: StallCycleCeiling, Bound: wd.MaxCycles, Snap: s.StallSnapshot()}
+		}
+	}
+	if s.checker != nil {
+		// Final sweep at the run boundary, then surface anything the run
+		// accumulated (FailFast runs never reach here with violations —
+		// they panic at the poll boundary that observed them).
+		s.runChecks(s.Core.Cycle())
+		if err := s.checker.Err(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -764,13 +807,23 @@ func RunTraceSystem(ctx context.Context, cfg Config, name, suite string, reader 
 	if cfg.WarmupInstrs > 0 {
 		sys.Core.Attach(reader, cfg.WarmupInstrs)
 		if err := sys.Run(ctx); err != nil {
-			return nil, sys, &RunError{Workload: name, Stage: "warmup", Err: err}
+			return nil, sys, &RunError{Workload: name, Stage: runStage("warmup", err), Err: err}
 		}
 		sys.ResetStats()
 	}
 	sys.Core.Attach(reader, cfg.SimInstrs)
 	if err := sys.Run(ctx); err != nil {
-		return sys.Collect(name, suite), sys, &RunError{Workload: name, Stage: "measure", Err: err}
+		return sys.Collect(name, suite), sys, &RunError{Workload: name, Stage: runStage("measure", err), Err: err}
 	}
 	return sys.Collect(name, suite), sys, nil
+}
+
+// runStage refines a run phase's ledger stage: invariant-checker failures
+// are their own stage ("check") regardless of which phase observed them.
+func runStage(phase string, err error) string {
+	var ce *CheckError
+	if errors.As(err, &ce) {
+		return "check"
+	}
+	return phase
 }

@@ -1,0 +1,79 @@
+package tlb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vmem"
+)
+
+func TestCheckInvariants(t *testing.T) {
+	// The reference page table: an identity-shifted mapping for a handful of
+	// pages.
+	table := map[uint64]vmem.Translation{}
+	resolve := func(va mem.VAddr) (vmem.Translation, bool) {
+		tr, ok := table[va.PageID()]
+		return tr, ok
+	}
+	mapPage := func(vpn uint64, base mem.PAddr) mem.VAddr {
+		table[vpn] = tr4K(base)
+		return mem.VAddr(vpn << mem.PageBits)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		tl := newTLB(t, 4, 4)
+		for i := uint64(0); i < 8; i++ {
+			va := mapPage(0x100+i, mem.PAddr((0x200+i)<<mem.PageBits))
+			tl.Insert(va, table[0x100+i], false)
+		}
+		if err := tl.CheckInvariants(resolve); err != nil {
+			t.Fatalf("healthy TLB violates: %v", err)
+		}
+	})
+	t.Run("tlb-stale-pte", func(t *testing.T) {
+		tl := newTLB(t, 4, 4)
+		tl.InjectStalePTE(1)
+		va := mapPage(0x300, mem.PAddr(0x400<<mem.PageBits))
+		tl.Insert(va, table[0x300], false)
+		if err := tl.CheckInvariants(resolve); err == nil || !strings.HasPrefix(err.Error(), "tlb-stale-pte:") {
+			t.Fatalf("CheckInvariants = %v", err)
+		}
+	})
+	t.Run("tlb-unmapped-page", func(t *testing.T) {
+		tl := newTLB(t, 4, 4)
+		va := mapPage(0x500, mem.PAddr(0x600<<mem.PageBits))
+		tl.Insert(va, table[0x500], false)
+		delete(table, uint64(0x500))
+		if err := tl.CheckInvariants(resolve); err == nil || !strings.HasPrefix(err.Error(), "tlb-unmapped-page:") {
+			t.Fatalf("CheckInvariants = %v", err)
+		}
+	})
+	t.Run("tlb-duplicate-entry", func(t *testing.T) {
+		tl := newTLB(t, 4, 4)
+		va := mapPage(0x700, mem.PAddr(0x800<<mem.PageBits))
+		tl.Insert(va, table[0x700], false)
+		// Duplicate the entry into a second way behind Insert's back.
+		var dup bool
+		for si := range tl.sets {
+			for wi := range tl.sets[si] {
+				e := &tl.sets[si][wi]
+				if e.valid && !dup {
+					for wj := range tl.sets[si] {
+						if wj != wi && !tl.sets[si][wj].valid {
+							tl.sets[si][wj] = *e
+							dup = true
+							break
+						}
+					}
+				}
+			}
+		}
+		if !dup {
+			t.Fatal("could not duplicate the entry")
+		}
+		if err := tl.CheckInvariants(resolve); err == nil || !strings.HasPrefix(err.Error(), "tlb-duplicate-entry:") {
+			t.Fatalf("CheckInvariants = %v", err)
+		}
+	})
+}

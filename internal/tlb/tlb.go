@@ -54,6 +54,12 @@ type TLB struct {
 	// Stats uses the shared cache-stats vocabulary: demand accesses/misses
 	// give MPKI and miss rate; prefetch fills/useful track pollution.
 	Stats *stats.CacheStats
+
+	// staleEveryN, when non-zero, corrupts the physical base of every Nth
+	// inserted entry (fault injection: a stale/corrupted PTE cached in the
+	// TLB, which the oracle's TLB ⇒ valid-PTE invariant must catch).
+	staleEveryN uint64
+	inserts     uint64
 }
 
 // New builds a TLB.
@@ -168,17 +174,99 @@ func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
 		}
 	}
 	t.clock++
+	base := tr.Base
+	t.inserts++
+	if n := t.staleEveryN; n > 0 && t.inserts%n == 0 {
+		// Injected stale PTE: the cached frame no longer matches the page
+		// table. The XOR keeps the base page-aligned and in-bounds for any
+		// power-of-two memory ≥ 1GB, so only the checker notices.
+		base ^= mem.PAddr(0x3F << mem.PageBits)
+	}
 	*e = entry{
 		valid:    true,
 		kind:     tr.Kind,
 		vpn:      vpn,
-		base:     tr.Base,
+		base:     base,
 		lru:      t.clock,
 		prefetch: fromPrefetch,
 	}
 	if fromPrefetch {
 		t.Stats.PrefetchFills++
 	}
+}
+
+// InjectStalePTE makes every Nth Insert store a corrupted physical base
+// (0 disables). Fault injection for the oracle's TLB invariants.
+func (t *TLB) InjectStalePTE(everyN uint64) { t.staleEveryN = everyN }
+
+// Entry is one resident translation as seen by VisitEntries.
+type Entry struct {
+	VPN      uint64 // 4K VPN for 4K entries, 2M VPN for 2M entries
+	Kind     mem.PageSizeKind
+	Base     mem.PAddr
+	Prefetch bool // filled by a page-cross prefetch walk
+}
+
+// VA reconstructs the first virtual address the entry translates.
+func (e Entry) VA() mem.VAddr {
+	if e.Kind == mem.Page2M {
+		return mem.VAddr(e.VPN << mem.LargePageBits)
+	}
+	return mem.VAddr(e.VPN << mem.PageBits)
+}
+
+// VisitEntries calls fn for every valid entry. Read-only: it perturbs
+// neither LRU state nor statistics, so checkers can scan freely.
+func (t *TLB) VisitEntries(fn func(Entry)) {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			e := &t.sets[si][wi]
+			if e.valid {
+				fn(Entry{VPN: e.vpn, Kind: e.kind, Base: e.base, Prefetch: e.prefetch})
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies the TLB's structural invariants against resolve,
+// the reference page table (typically vmem.AddressSpace.Lookup):
+//
+//   - every valid entry translates a page the reference model has mapped;
+//   - the cached base and page-size kind match the reference translation
+//     (TLB entry ⇒ valid PTE);
+//   - no (VPN, kind) pair is cached twice.
+//
+// It returns the first violation found, nil when clean. resolve must be
+// side-effect free.
+func (t *TLB) CheckInvariants(resolve func(mem.VAddr) (vmem.Translation, bool)) error {
+	seen := make(map[uint64]struct{}, t.cfg.Sets*t.cfg.Ways)
+	var err error
+	t.VisitEntries(func(e Entry) {
+		if err != nil {
+			return
+		}
+		// Key by VPN plus kind bit; 4K and 2M VPNs live in disjoint ranges
+		// only after tagging the kind.
+		key := e.VPN<<1 | uint64(e.Kind)
+		if _, dup := seen[key]; dup {
+			err = fmt.Errorf("tlb-duplicate-entry: %s holds two entries for %s vpn %#x", t.cfg.Name, e.Kind, e.VPN)
+			return
+		}
+		seen[key] = struct{}{}
+		tr, ok := resolve(e.VA())
+		if !ok {
+			err = fmt.Errorf("tlb-unmapped-page: %s caches %s vpn %#x with no page-table mapping", t.cfg.Name, e.Kind, e.VPN)
+			return
+		}
+		if tr.Kind != e.Kind {
+			err = fmt.Errorf("tlb-stale-pte: %s entry for vpn %#x caches kind %s, page table says %s", t.cfg.Name, e.VPN, e.Kind, tr.Kind)
+			return
+		}
+		if tr.Base != e.Base {
+			err = fmt.Errorf("tlb-stale-pte: %s entry for %s vpn %#x caches base %#x, page table says %#x", t.cfg.Name, e.Kind, e.VPN, e.Base, tr.Base)
+		}
+	})
+	return err
 }
 
 // Latency returns the hit latency.

@@ -250,6 +250,45 @@ func (as *AddressSpace) translate(va mem.VAddr) (Translation, bool) {
 	return Translation{Base: base, Kind: kind}, existed
 }
 
+// Lookup resolves va WITHOUT mapping on first touch: ok is false when no
+// mapping exists yet. Unlike Translate it never mutates the address space,
+// so correctness checkers (the oracle's TLB ⇒ valid-PTE invariant) can probe
+// the page table without perturbing allocation state.
+func (as *AddressSpace) Lookup(va mem.VAddr) (Translation, bool) {
+	large := as.wantsLargePage(va)
+	node := as.root
+	depth := NumLevels
+	if large {
+		depth = LevelPD + 1
+	}
+	for level := 0; level < depth-1; level++ {
+		child, ok := node.children[levelIndex(va, level)]
+		if !ok {
+			return Translation{}, false
+		}
+		node = child
+	}
+	base, ok := node.leaves[levelIndex(va, depth-1)]
+	if !ok {
+		return Translation{}, false
+	}
+	kind := mem.Page4K
+	if large {
+		kind = mem.Page2M
+	}
+	return Translation{Base: base, Kind: kind}, true
+}
+
+// MemBytes returns the simulated physical memory size.
+func (as *AddressSpace) MemBytes() uint64 { return as.cfg.MemBytes }
+
+// LevelIndex exposes the radix index of va at a walk level so a reference
+// model can recompute the entry address a hardware walker must read.
+func LevelIndex(va mem.VAddr, level int) uint64 { return levelIndex(va, level) }
+
+// EntryBytes is the size of one page-table entry.
+const EntryBytes = entryBytes
+
 // Walk returns the sequence of page-table entry reads a hardware walker
 // would perform to translate va, root first, along with the resulting
 // translation. Mapping happens on first touch, so Walk always succeeds.
