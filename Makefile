@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check cover bench golden diff fuzz
+.PHONY: build test race vet check cover bench bench-json campaign golden diff fuzz
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,27 @@ cover:
 # bench runs one iteration of every benchmark (smoke, not measurement).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench-json measures the canonical BenchmarkRun* throughput/allocation
+# benchmarks and records them in BENCH_5.json's "after" section (the
+# pre-optimization "before" section is preserved across regenerations).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/bench2json -out BENCH_5.json -label after
+
+# campaign runs a tiny cached campaign twice and asserts the warm-cache
+# re-run performs zero simulations — the content-addressed result cache's
+# acceptance check, end to end through cmd/experiments.
+CAMPAIGN_CACHE := .campaign-cache
+campaign: build
+	@rm -rf $(CAMPAIGN_CACHE)
+	@$(GO) run ./cmd/experiments -exp fig9 -max-workloads 2 -warmup 5000 -instrs 10000 \
+		-cache-dir $(CAMPAIGN_CACHE) >/dev/null
+	@$(GO) run ./cmd/experiments -exp fig9 -max-workloads 2 -warmup 5000 -instrs 10000 \
+		-cache-dir $(CAMPAIGN_CACHE) | tee /dev/stderr | grep '^campaign:' | grep -q 'simulated=0' \
+		&& echo 'campaign: warm-cache re-run performed zero simulations' \
+		|| { echo 'campaign: FAIL — warm-cache re-run still simulated'; rm -rf $(CAMPAIGN_CACHE); exit 1; }
+	@rm -rf $(CAMPAIGN_CACHE)
 
 # golden re-records the golden metric snapshots after a deliberate
 # behavioural change; review the diff before committing.

@@ -11,6 +11,7 @@
 package pagecross
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -392,11 +393,73 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg.SimInstrs = 100_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunWorkload(cfg, w); err != nil {
+		if _, err := sim.RunWorkload(context.Background(), cfg, w); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkRunWorkload is the canonical single-workload throughput
+// benchmark BENCH_5.json tracks: one full Run (setup + 100k measured
+// instructions of spec.stream_s00 under DRIPPER) per iteration, with
+// allocation counts (the hot-path work targets allocations per simulated
+// instruction as much as wall clock).
+func BenchmarkRunWorkload(b *testing.B) {
+	w, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		b.Fatal("workload missing")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.PolicyDripper
+	cfg.WarmupInstrs = 0
+	cfg.SimInstrs = 100_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkRunCampaign measures the campaign engine around the same cells:
+// "cold" pays simulation plus cache writes, "warm" is pure cache-hit reads
+// — the factor between them is what a warm re-run of the evaluation saves.
+func BenchmarkRunCampaign(b *testing.B) {
+	w, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		b.Fatal("workload missing")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.PolicyDripper
+	cfg.WarmupInstrs = 0
+	cfg.SimInstrs = 20_000
+	spec := CampaignSpec{Name: "bench", Cells: []CampaignCell{
+		{ID: "cell", Config: cfg, Workload: w},
+	}}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := RunCampaign(context.Background(), spec, WithCache(b.TempDir()))
+			if err != nil || rep.Simulated != 1 {
+				b.Fatalf("cold campaign: %v %+v", err, rep)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		if _, err := RunCampaign(context.Background(), spec, WithCache(dir)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := RunCampaign(context.Background(), spec, WithCache(dir))
+			if err != nil || rep.CacheHits != 1 {
+				b.Fatalf("warm campaign: %v %+v", err, rep)
+			}
+		}
+	})
 }
 
 // BenchmarkTracerOverhead quantifies the cost of the observability layer on
@@ -421,7 +484,7 @@ func BenchmarkTracerOverhead(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.RunWorkload(cfg, w); err != nil {
+				if _, err := sim.RunWorkload(context.Background(), cfg, w); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -453,7 +516,7 @@ func BenchmarkCheckOverhead(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.RunWorkload(cfg, w); err != nil {
+				if _, err := sim.RunWorkload(context.Background(), cfg, w); err != nil {
 					b.Fatal(err)
 				}
 			}

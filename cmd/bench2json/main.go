@@ -1,0 +1,126 @@
+// Command bench2json converts `go test -bench` text output (stdin) into a
+// structured JSON ledger, so benchmark results can be archived and diffed
+// across commits. Re-running with the same -out file merges: each -label
+// section is replaced wholesale, other sections are preserved — which is
+// how BENCH_5.json keeps its pre-optimization "before" section next to a
+// freshly measured "after".
+//
+//	go test -run '^$' -bench 'BenchmarkRun' -benchmem -benchtime 3x . \
+//	    | go run ./cmd/bench2json -out BENCH_5.json -label after
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics maps unit → value for every
+// "<value> <unit>" pair after the iteration count (ns/op, B/op, allocs/op,
+// and custom units like instrs/s).
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Ledger is the output document: label → benchmark list, plus the
+// environment lines (goos/goarch/pkg/cpu) of the latest run. Notes is
+// free-form provenance carried through merges untouched.
+type Ledger struct {
+	Notes    string                 `json:"notes,omitempty"`
+	Env      map[string]string      `json:"env,omitempty"`
+	Sections map[string][]Benchmark `json:"sections"`
+}
+
+func main() {
+	out := flag.String("out", "", "JSON file to write (merged when it exists); empty = stdout")
+	label := flag.String("label", "after", "section name for this run's results")
+	flag.Parse()
+
+	led := &Ledger{Env: map[string]string{}, Sections: map[string][]Benchmark{}}
+	if *out != "" {
+		if b, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(b, led); err != nil {
+				fmt.Fprintf(os.Stderr, "bench2json: %s exists but is not a ledger: %v\n", *out, err)
+				os.Exit(1)
+			}
+			if led.Sections == nil {
+				led.Sections = map[string][]Benchmark{}
+			}
+			if led.Env == nil {
+				led.Env = map[string]string{}
+			}
+		}
+	}
+
+	var benches []Benchmark
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, env := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, env+":"); ok {
+				led.Env[env] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	led.Sections[*label] = benches
+
+	enc, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmark(s) to %s [%s]\n", len(benches), *out, *label)
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkRunWorkload-64   22   50929361 ns/op   1963519 instrs/s   5578269 B/op   66154 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

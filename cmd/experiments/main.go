@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 	"syscall"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -40,6 +41,8 @@ func main() {
 		outDir   = flag.String("out-dir", "", "write each experiment's report to <out-dir>/<name>.{txt,json} instead of stdout")
 		pprofOut = flag.String("pprof", "", "write a CPU profile of the campaign to this file")
 		check    = flag.Bool("check", false, "run every simulation with the lockstep oracle and invariant sweeps; violations land in the failure ledger under stage \"check\"")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: completed (config, workload) cells are memoized here and re-runs with unchanged configs skip simulation entirely")
+		resume   = flag.String("resume", "", "checkpoint manifest (JSONL): completed cells are appended as they finish, and an interrupted campaign re-invoked with the same manifest resumes instead of re-simulating")
 	)
 	flag.Parse()
 
@@ -77,11 +80,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	totals := &campaign.Totals{}
 	o := experiments.Options{
 		Warmup: *warmup, Instrs: *instrs,
-		MaxWorkloads: *maxWl, Parallel: *par, Prefetcher: *pf,
-		Ctx:   ctx,
-		Check: sim.CheckConfig{Enabled: *check},
+		MaxWorkloads: *maxWl, Prefetcher: *pf,
+		Ctx: ctx,
+		Exec: campaign.Exec{
+			Workers: *par, CacheDir: *cacheDir, ResumeManifest: *resume,
+		},
+		Check:  sim.CheckConfig{Enabled: *check},
+		Totals: totals,
 	}
 
 	run := func(name string) error {
@@ -303,4 +311,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// Campaign accounting: `make campaign` asserts a warm-cache re-run
+	// prints simulated=0 here.
+	fmt.Printf("campaign: %s\n", totals)
 }

@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 	"syscall"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -42,6 +43,7 @@ func main() {
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 		check      = flag.Bool("check", false, "run the lockstep functional oracle and invariant sweeps; violations fail the run")
 		checkFF    = flag.Bool("check-failfast", false, "with -check, abort at the first violation instead of accumulating")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache shared with cmd/experiments; a hit skips the simulation (ignored when -metrics-out/-trace-out/-pprof/-trace need a live system)")
 	)
 	flag.Parse()
 
@@ -113,6 +115,30 @@ func main() {
 		}()
 	}
 
+	// The result cache serves (and stores) finished statistics only; any
+	// flag that needs the live system or observes the run itself (metrics
+	// snapshot, event trace, CPU profile, ad-hoc trace files whose content
+	// the key cannot see) bypasses it.
+	var store *campaign.Store
+	var cacheKey campaign.Key
+	if *cacheDir != "" && *traceFile == "" && *metricsOut == "" && *traceOut == "" && *pprofOut == "" {
+		s, serr := campaign.OpenStore(*cacheDir)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", serr)
+			os.Exit(1)
+		}
+		if w, ok := trace.ByName(*workload); ok {
+			if k, kerr := campaign.KeyOf(cfg, w); kerr == nil {
+				store, cacheKey = s, k
+				if runs, hit := s.Get(k); hit {
+					fmt.Printf("(cached: %s)\n", k[:12])
+					report(runs[0])
+					return
+				}
+			}
+		}
+	}
+
 	var run *stats.Run
 	var sys *sim.System
 	var err error
@@ -157,6 +183,11 @@ func main() {
 			pprof.StopCPUProfile()
 		}
 		os.Exit(1)
+	}
+	if store != nil {
+		if perr := store.Put(cacheKey, []*stats.Run{run}); perr != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: cache: %v\n", perr)
+		}
 	}
 	report(run)
 }

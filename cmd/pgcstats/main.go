@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -73,7 +74,7 @@ func main() {
 			cfg.L1DPrefetcher = *prefetcher
 			cfg.WarmupInstrs = *warmup
 			cfg.SimInstrs = *instrs
-			run, err := sim.RunWorkload(cfg, w)
+			run, err := sim.RunWorkload(context.Background(), cfg, w)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {

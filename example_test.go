@@ -1,6 +1,7 @@
 package pagecross_test
 
 import (
+	"context"
 	"fmt"
 
 	pagecross "repro"
@@ -55,7 +56,7 @@ func ExampleRun() {
 	if !ok {
 		panic("workload missing")
 	}
-	run, err := pagecross.Run(cfg, w)
+	run, err := pagecross.Run(context.Background(), cfg, w)
 	if err != nil {
 		panic(err)
 	}

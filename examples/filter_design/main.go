@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func makeEval(train []pagecross.Workload, baseIPC map[string]float64) func(pagec
 			cfg.SimInstrs = 60_000
 			fcCopy := fc
 			cfg.FilterConfig = &fcCopy
-			run, err := pagecross.Run(cfg, w)
+			run, err := pagecross.Run(context.Background(), cfg, w)
 			if err != nil {
 				return 0, err
 			}
@@ -61,7 +62,7 @@ func main() {
 		cfg.Policy = pagecross.PolicyDiscard
 		cfg.WarmupInstrs = 30_000
 		cfg.SimInstrs = 60_000
-		run, err := pagecross.Run(cfg, w)
+		run, err := pagecross.Run(context.Background(), cfg, w)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,14 +108,14 @@ func main() {
 	cfg.FilterConfig = &fc
 	cfg.WarmupInstrs = 100_000
 	cfg.SimInstrs = 100_000
-	run, err := pagecross.Run(cfg, holdout)
+	run, err := pagecross.Run(context.Background(), cfg, holdout)
 	if err != nil {
 		log.Fatal(err)
 	}
 	base := cfg
 	base.FilterConfig = nil
 	base.Policy = pagecross.PolicyDiscard
-	baseRun, err := pagecross.Run(base, holdout)
+	baseRun, err := pagecross.Run(context.Background(), base, holdout)
 	if err != nil {
 		log.Fatal(err)
 	}

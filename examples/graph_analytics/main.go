@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 			cfg.Policy = p
 			cfg.WarmupInstrs = 150_000
 			cfg.SimInstrs = 150_000
-			run, err := pagecross.Run(cfg, w)
+			run, err := pagecross.Run(context.Background(), cfg, w)
 			if err != nil {
 				log.Fatal(err)
 			}

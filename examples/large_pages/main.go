@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 			cfg.VMem.LargePageFraction = 0.5
 			cfg.WarmupInstrs = 120_000
 			cfg.SimInstrs = 120_000
-			run, err := pagecross.Run(cfg, w)
+			run, err := pagecross.Run(context.Background(), cfg, w)
 			if err != nil {
 				log.Fatal(err)
 			}

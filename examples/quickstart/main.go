@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,7 +34,7 @@ func main() {
 		cfg.Policy = policy
 		cfg.WarmupInstrs = 200_000
 		cfg.SimInstrs = 200_000
-		run, err := pagecross.Run(cfg, w)
+		run, err := pagecross.Run(context.Background(), cfg, w)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -57,11 +58,11 @@ func main() {
 	cfg.WarmupInstrs = 40_000
 	cfg.SimInstrs = 60_000
 
-	direct, err := sim.RunTrace(cfg, w.Name, w.Suite, trace.NewSliceReader(instrs))
+	direct, err := sim.RunTrace(context.Background(), cfg, w.Name, w.Suite, trace.NewSliceReader(instrs))
 	if err != nil {
 		log.Fatal(err)
 	}
-	replayed, err := sim.RunTrace(cfg, w.Name, w.Suite, trace.NewSliceReader(loaded))
+	replayed, err := sim.RunTrace(context.Background(), cfg, w.Name, w.Suite, trace.NewSliceReader(loaded))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -164,6 +164,19 @@ type Cache struct {
 	gcReleases uint64
 
 	outstanding map[uint64]*inflight // line ID → in-flight fill
+	// minReady is the exact earliest completion cycle over the non-leaked
+	// outstanding fills (^0 when none). gcOutstanding runs on every access;
+	// without this bound it iterates the whole MSHR map each time, which
+	// profiling shows dominates simulation CPU. With it, the common case —
+	// nothing has completed since the last sweep — is one comparison.
+	minReady uint64
+
+	// lowReq is the scratch request reused for every forward to the lower
+	// level (and writeback forwarding). The hierarchy is driven by a single
+	// goroutine per system and the lower level consumes the request
+	// synchronously, so reusing one buffer is safe and removes a heap
+	// allocation per miss.
+	lowReq Request
 
 	// Stats is exported by pointer so the simulator aggregates it directly.
 	Stats *stats.CacheStats
@@ -197,6 +210,7 @@ func New(cfg Config, lower Level) (*Cache, error) {
 		lower:       lower,
 		sets:        sets,
 		outstanding: make(map[uint64]*inflight),
+		minReady:    ^uint64(0),
 		missLatEWMA: 300, // sane prior until real misses calibrate it
 		Stats:       &stats.CacheStats{},
 	}, nil
@@ -237,10 +251,22 @@ func (c *Cache) lookup(pa mem.PAddr) *Block {
 	return nil
 }
 
-// gcOutstanding retires completed MSHR entries.
+// gcOutstanding retires completed MSHR entries. The minReady watermark makes
+// the no-op case (no non-leaked fill has completed yet) a single comparison;
+// the set of entries retired is identical to a full sweep, since cycle <
+// minReady implies no non-leaked entry satisfies ready <= cycle. Leaked
+// entries are excluded from the watermark — they never retire, and tracking
+// them would force a full sweep on every access ever after.
 func (c *Cache) gcOutstanding(cycle uint64) {
+	if cycle < c.minReady {
+		return
+	}
+	min := ^uint64(0)
 	for id, fl := range c.outstanding {
-		if fl.ready <= cycle && !fl.leaked {
+		if fl.leaked {
+			continue
+		}
+		if fl.ready <= cycle {
 			if n := c.leakEveryN; n > 0 {
 				c.gcReleases++
 				if c.gcReleases%n == 0 {
@@ -249,8 +275,13 @@ func (c *Cache) gcOutstanding(cycle uint64) {
 				}
 			}
 			delete(c.outstanding, id)
+			continue
+		}
+		if fl.ready < min {
+			min = fl.ready
 		}
 	}
+	c.minReady = min
 }
 
 // InjectMSHRLeak makes every Nth MSHR release be lost (0 disables): the
@@ -393,8 +424,8 @@ func (c *Cache) access(req *Request, cycle uint64) uint64 {
 		c.gcOutstanding(issue)
 	}
 
-	lowReq := *req
-	ready := c.lower.Access(&lowReq, issue+c.cfg.Latency)
+	c.lowReq = *req
+	ready := c.lower.Access(&c.lowReq, issue+c.cfg.Latency)
 
 	fl := &inflight{
 		issue:     issue,
@@ -407,6 +438,9 @@ func (c *Cache) access(req *Request, cycle uint64) uint64 {
 		fl.demandMerge = true
 	}
 	c.outstanding[req.PA.LineID()] = fl
+	if ready < c.minReady {
+		c.minReady = ready
+	}
 	if demand && ready > cycle {
 		c.missLatEWMA = (c.missLatEWMA*7 + (ready - cycle)) / 8
 	}
@@ -545,8 +579,8 @@ func (c *Cache) accessWriteback(req *Request, cycle uint64) uint64 {
 		return cycle + c.cfg.Latency
 	}
 	// Non-inclusive hierarchy: writebacks that miss are forwarded down.
-	low := *req
-	return c.lower.Access(&low, cycle+c.cfg.Latency)
+	c.lowReq = *req
+	return c.lower.Access(&c.lowReq, cycle+c.cfg.Latency)
 }
 
 // RegisterMetrics exports the level's statistics block, its MSHR-occupancy
@@ -634,4 +668,5 @@ func (c *Cache) Flush() {
 		}
 	}
 	c.outstanding = make(map[uint64]*inflight)
+	c.minReady = ^uint64(0)
 }

@@ -1,0 +1,536 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Exec is the execution policy of a campaign: worker-pool width, the
+// retry/timeout fault-isolation knobs shared with the experiments harness,
+// and the persistence layers (result cache, resume manifest). The zero
+// value runs with NumCPU workers, no retries, no cache and no manifest.
+type Exec struct {
+	// Workers is the number of concurrent simulation workers (default
+	// NumCPU).
+	Workers int
+	// Retries is how many times a retryable failure (sim.Retryable) is
+	// retried before landing in the failure ledger; 0 disables retry.
+	Retries int
+	// RetryBackoff is the base backoff between retries (multiplied by the
+	// attempt number); 0 retries immediately.
+	RetryBackoff time.Duration
+	// RunTimeout, when non-zero, bounds each individual cell's wall-clock
+	// time; an expired cell is a ledgered failure, not a campaign abort.
+	RunTimeout time.Duration
+	// CacheDir, when non-empty, memoizes every cacheable cell in a
+	// content-addressed result cache rooted there.
+	CacheDir string
+	// ResumeManifest, when non-empty, is a JSONL checkpoint file:
+	// completed cells are appended as they finish, and cells already
+	// present (with a matching content key) are resumed without
+	// simulation.
+	ResumeManifest string
+}
+
+func (e Exec) withDefaults() Exec {
+	if e.Workers <= 0 {
+		e.Workers = runtime.NumCPU()
+	}
+	return e
+}
+
+// Option configures one campaign run.
+type Option func(*Exec)
+
+// WithCache memoizes cell results in a content-addressed cache at dir.
+func WithCache(dir string) Option { return func(e *Exec) { e.CacheDir = dir } }
+
+// WithWorkers sets the worker-pool width.
+func WithWorkers(n int) Option { return func(e *Exec) { e.Workers = n } }
+
+// WithResume checkpoints completed cells to (and resumes them from) the
+// JSONL manifest at path.
+func WithResume(path string) Option { return func(e *Exec) { e.ResumeManifest = path } }
+
+// WithRetries retries retryable cell failures up to n times with linear
+// backoff (base × attempt).
+func WithRetries(n int, backoff time.Duration) Option {
+	return func(e *Exec) { e.Retries = n; e.RetryBackoff = backoff }
+}
+
+// WithRunTimeout bounds each cell's wall-clock time.
+func WithRunTimeout(d time.Duration) Option { return func(e *Exec) { e.RunTimeout = d } }
+
+// WithExec replaces the whole execution policy at once — the bridge for
+// callers (the experiments harness) that already carry an Exec.
+func WithExec(ex Exec) Option { return func(e *Exec) { *e = ex } }
+
+// Failure is one failure-ledger entry: which cell failed, with what error,
+// after how many attempts.
+type Failure struct {
+	ID       string
+	Attempts int
+	Err      error
+}
+
+// Report is the outcome of a campaign: every completed cell's result plus
+// an explicit failure ledger and the cache accounting that lets callers
+// (and `make campaign`) assert "this re-run simulated nothing".
+type Report struct {
+	// Runs holds single-core results by cell ID.
+	Runs map[string]*stats.Run
+	// MixRuns holds multi-core results by cell ID (one run per core).
+	MixRuns map[string][]*stats.Run
+	// Failures is the ledger, sorted by cell ID.
+	Failures []Failure
+	// CacheHits, Resumed and Simulated partition the completed cells by
+	// where their result came from; Total is len(spec.Cells).
+	CacheHits, Resumed, Simulated int
+	Total                         int
+}
+
+// Complete reports whether every cell completed.
+func (r *Report) Complete() bool {
+	return len(r.Failures) == 0 && len(r.Runs)+len(r.MixRuns) == r.Total
+}
+
+// Err folds the failure ledger into one error (nil when empty).
+func (r *Report) Err() error {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	f := r.Failures[0]
+	return fmt.Errorf("campaign: %d/%d cells failed (first: %s after %d attempt(s): %w)",
+		len(r.Failures), r.Total, f.ID, f.Attempts, f.Err)
+}
+
+// Totals accumulates cache accounting across several campaign runs (one
+// experiment invocation runs many matrices); safe for concurrent Add.
+type Totals struct {
+	mu                            sync.Mutex
+	CacheHits, Resumed, Simulated int
+	Failed                        int
+}
+
+// Add folds one report into the totals.
+func (t *Totals) Add(r *Report) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.CacheHits += r.CacheHits
+	t.Resumed += r.Resumed
+	t.Simulated += r.Simulated
+	t.Failed += len(r.Failures)
+}
+
+// String renders the totals the way cmd/experiments prints them (and
+// `make campaign` greps them).
+func (t *Totals) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("simulated=%d cached=%d resumed=%d failed=%d",
+		t.Simulated, t.CacheHits, t.Resumed, t.Failed)
+}
+
+// Run executes the campaign. Cells with satisfied dependencies run
+// concurrently on a sharded work-stealing pool: each worker owns a deque
+// seeded by cell-ID hash, pops its own work LIFO, and steals half a
+// victim's deque when dry — cheap locality for the common
+// many-independent-cells matrix, automatic balance when one shard's cells
+// run long. A panicking or erroring cell becomes a ledger entry (retryable
+// failures retry with backoff), never a campaign abort. The returned error
+// is non-nil only for an invalid spec, an unusable cache/manifest, or a
+// cancelled ctx; the report then holds whatever completed first.
+func Run(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ex Exec
+	for _, o := range opts {
+		o(&ex)
+	}
+	ex = ex.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	var store *Store
+	if ex.CacheDir != "" {
+		var err error
+		if store, err = OpenStore(ex.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	resumed := map[string]ManifestEntry{}
+	var man *manifestWriter
+	if ex.ResumeManifest != "" {
+		var err error
+		if resumed, err = LoadManifest(ex.ResumeManifest); err != nil {
+			return nil, err
+		}
+		if man, err = openManifestWriter(ex.ResumeManifest); err != nil {
+			return nil, err
+		}
+		defer man.Close()
+	}
+
+	e := &engine{
+		ctx:     ctx,
+		ex:      ex,
+		cells:   spec.Cells,
+		store:   store,
+		resumed: resumed,
+		man:     man,
+		rep: &Report{
+			Runs:    map[string]*stats.Run{},
+			MixRuns: map[string][]*stats.Run{},
+			Total:   len(spec.Cells),
+		},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.run()
+	sort.Slice(e.rep.Failures, func(i, j int) bool { return e.rep.Failures[i].ID < e.rep.Failures[j].ID })
+	return e.rep, ctx.Err()
+}
+
+// shard is one worker's deque: the owner pushes and pops at the back
+// (LIFO — freshly unblocked dependents run while their inputs are warm),
+// thieves take half from the front (the oldest, most likely-independent
+// work).
+type shard struct {
+	mu sync.Mutex
+	q  []int
+}
+
+func (s *shard) push(is ...int) {
+	s.mu.Lock()
+	s.q = append(s.q, is...)
+	s.mu.Unlock()
+}
+
+func (s *shard) pop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) == 0 {
+		return 0, false
+	}
+	i := s.q[len(s.q)-1]
+	s.q = s.q[:len(s.q)-1]
+	return i, true
+}
+
+// stealHalf removes and returns the front half (at least one) of the
+// deque, or nil when empty.
+func (s *shard) stealHalf() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) == 0 {
+		return nil
+	}
+	n := (len(s.q) + 1) / 2
+	got := append([]int(nil), s.q[:n]...)
+	s.q = append(s.q[:0], s.q[n:]...)
+	return got
+}
+
+type engine struct {
+	ctx     context.Context
+	ex      Exec
+	cells   []Cell
+	store   *Store
+	resumed map[string]ManifestEntry
+	man     *manifestWriter
+
+	shards []shard
+
+	// mu guards the DAG bookkeeping and the report; cond wakes idle
+	// workers when new cells unblock (or the campaign drains). Lock
+	// order: shard.mu is never held while taking mu.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	waitDeps   []int   // per-cell unresolved dependency count
+	dependents [][]int // cell -> cells it unblocks
+	ready      int     // cells sitting in some shard
+	remaining  int     // cells not yet finished
+	rep        *Report
+}
+
+func (e *engine) run() {
+	n := len(e.cells)
+	if n == 0 {
+		return
+	}
+	workers := e.ex.Workers
+	if workers > n {
+		workers = n
+	}
+	e.shards = make([]shard, workers)
+	e.waitDeps = make([]int, n)
+	e.dependents = make([][]int, n)
+	index := make(map[string]int, n)
+	for i := range e.cells {
+		index[e.cells[i].ID] = i
+	}
+	for i := range e.cells {
+		for _, dep := range e.cells[i].After {
+			j := index[dep]
+			e.waitDeps[i]++
+			e.dependents[j] = append(e.dependents[j], i)
+		}
+	}
+	e.remaining = n
+	for i := range e.cells {
+		if e.waitDeps[i] == 0 {
+			e.shards[shardOf(e.cells[i].ID, workers)].push(i)
+			e.ready++
+		}
+	}
+
+	// A cancelled ctx must also wake sleeping workers.
+	stopWake := make(chan struct{})
+	go func() {
+		select {
+		case <-e.ctx.Done():
+			e.cond.Broadcast()
+		case <-stopWake:
+		}
+	}()
+	defer close(stopWake)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				ci, ok := e.next(id)
+				if !ok {
+					return
+				}
+				e.exec(ci)
+				e.finish(ci, id)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// shardOf spreads cells over worker deques by FNV-1a of their ID, so the
+// initial distribution is deterministic and roughly even.
+func shardOf(id string, workers int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(workers))
+}
+
+// next returns the index of the next cell for worker id, blocking until
+// one unblocks; ok=false when the campaign has drained or ctx is done.
+func (e *engine) next(id int) (int, bool) {
+	for {
+		if i, ok := e.shards[id].pop(); ok {
+			e.took(1)
+			return i, true
+		}
+		for off := 1; off < len(e.shards); off++ {
+			victim := (id + off) % len(e.shards)
+			if got := e.shards[victim].stealHalf(); len(got) > 0 {
+				e.took(len(got))
+				if len(got) > 1 {
+					e.shards[id].push(got[1:]...)
+					e.gave(len(got) - 1)
+				}
+				return got[0], true
+			}
+		}
+		e.mu.Lock()
+		if e.remaining == 0 || e.ctx.Err() != nil {
+			e.mu.Unlock()
+			return 0, false
+		}
+		if e.ready == 0 {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}
+}
+
+func (e *engine) took(n int) {
+	e.mu.Lock()
+	e.ready -= n
+	e.mu.Unlock()
+}
+
+func (e *engine) gave(n int) {
+	e.mu.Lock()
+	e.ready += n
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// finish retires a cell: its dependents' wait counts drop, newly unblocked
+// cells land on the finishing worker's own deque (they are the natural
+// continuation of what it just computed), and idle workers are woken.
+func (e *engine) finish(ci, workerID int) {
+	var unblocked []int
+	e.mu.Lock()
+	e.remaining--
+	for _, d := range e.dependents[ci] {
+		if e.waitDeps[d]--; e.waitDeps[d] == 0 {
+			unblocked = append(unblocked, d)
+		}
+	}
+	e.ready += len(unblocked)
+	drained := e.remaining == 0
+	e.mu.Unlock()
+	if len(unblocked) > 0 {
+		e.shards[workerID].push(unblocked...)
+	}
+	if len(unblocked) > 0 || drained {
+		e.cond.Broadcast()
+	}
+}
+
+// exec resolves one cell: resume manifest first, then the result cache,
+// then simulation (with the matrix runner's recover/retry fault
+// isolation). Every freshly computed or cache-hit result is checkpointed
+// to the manifest; only fresh results are written to the cache.
+func (e *engine) exec(ci int) {
+	c := &e.cells[ci]
+	if e.ctx.Err() != nil {
+		return // campaign-wide teardown; not an individual failure
+	}
+	key, kerr := c.key() // kerr != nil ⇒ uncacheable: always simulate, never store
+	if kerr == nil {
+		// Lookup by content key, not cell ID: the key identifies the
+		// result regardless of which campaign (or ID spelling) produced
+		// it, and a drifted config simply computes a key that is absent.
+		if ent, ok := e.resumed[string(key)]; ok {
+			e.record(c, ent.Runs, &e.rep.Resumed)
+			return
+		}
+		if e.store != nil {
+			if runs, ok := e.store.Get(key); ok {
+				e.record(c, runs, &e.rep.CacheHits)
+				e.checkpoint(c.ID, key, runs)
+				return
+			}
+		}
+	}
+	runs, attempts, err := e.simulate(c)
+	if err != nil {
+		if e.ctx.Err() != nil && errors.Is(err, e.ctx.Err()) {
+			return // torn down by cancellation; the ctx error covers it
+		}
+		e.mu.Lock()
+		e.rep.Failures = append(e.rep.Failures, Failure{ID: c.ID, Attempts: attempts, Err: err})
+		e.mu.Unlock()
+		return
+	}
+	e.record(c, runs, &e.rep.Simulated)
+	if kerr == nil {
+		if e.store != nil {
+			// Best-effort: a full disk costs future cache hits, not results.
+			_ = e.store.Put(key, runs)
+		}
+		e.checkpoint(c.ID, key, runs)
+	}
+}
+
+func (e *engine) record(c *Cell, runs []*stats.Run, counter *int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.isMix() {
+		e.rep.MixRuns[c.ID] = runs
+	} else {
+		e.rep.Runs[c.ID] = runs[0]
+	}
+	*counter++
+}
+
+func (e *engine) checkpoint(id string, key Key, runs []*stats.Run) {
+	if e.man == nil {
+		return
+	}
+	// Best-effort like the cache: a failed checkpoint costs resume
+	// coverage, not correctness.
+	_ = e.man.append(ManifestEntry{ID: id, Key: key, Runs: runs})
+}
+
+// simulate runs one cell with retry-on-retryable and linear backoff — the
+// same fault-isolation contract as the experiments matrix runner.
+func (e *engine) simulate(c *Cell) (runs []*stats.Run, attempts int, err error) {
+	for attempts = 1; ; attempts++ {
+		runs, err = e.simOnce(c)
+		if err == nil || !sim.Retryable(err) || attempts > e.ex.Retries || e.ctx.Err() != nil {
+			return runs, attempts, err
+		}
+		if delay := e.ex.RetryBackoff * time.Duration(attempts); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-e.ctx.Done():
+				t.Stop()
+				return runs, attempts, err
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// simOnce runs one attempt, converting panics into *sim.RunError so a
+// poisoned cell cannot take the campaign down. A FailFast checker's
+// *sim.CheckError panic is a first-class verdict about the simulator, not
+// a crash: it lands under the "check" stage so CheckFailure can tell
+// correctness violations from environmental failures.
+func (e *engine) simOnce(c *Cell) (runs []*stats.Run, err error) {
+	// RunError labels carry the workload name for single-core cells (what
+	// the experiments ledger reports) and the cell ID for mixes.
+	label := c.ID
+	if !c.isMix() {
+		label = c.Workload.Name
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			runs = nil
+			if ce, ok := r.(*sim.CheckError); ok {
+				err = &sim.RunError{Workload: label, Stage: "check", Err: ce}
+				return
+			}
+			err = &sim.RunError{
+				Workload: label, Stage: "measure", Panicked: true,
+				Err: fmt.Errorf("recovered panic: %v", r),
+			}
+		}
+	}()
+	ctx := e.ctx
+	if e.ex.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.ex.RunTimeout)
+		defer cancel()
+	}
+	if c.isMix() {
+		ms, merr := sim.NewMulti(*c.Multi)
+		if merr != nil {
+			return nil, &sim.RunError{Workload: c.ID, Stage: "setup", Err: merr}
+		}
+		runs, err = ms.RunMix(ctx, c.Mix)
+		if err != nil {
+			return nil, err
+		}
+		return runs, nil
+	}
+	run, rerr := sim.RunWorkload(ctx, c.Config, c.Workload)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return []*stats.Run{run}, nil
+}

@@ -1,0 +1,96 @@
+// Package campaign expresses the paper's evaluation — figure matrices,
+// ablation sweeps, multi-core mixes — as a DAG of simulation cells executed
+// on a sharded work-stealing worker pool, with every cell's result memoized
+// in a content-addressed on-disk cache and checkpointed to a resume
+// manifest. A warm-cache re-run of the whole evaluation performs zero
+// simulations; an interrupted campaign resumes from its manifest; a config
+// change invalidates exactly the affected cells (their content hash moves,
+// everything else still hits).
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SchemaVersion is folded into every cache key. Bump it whenever the
+// meaning of the simulator's statistics changes (a counter is added,
+// renamed, or measured differently): every previously cached result then
+// misses and is regenerated, instead of silently mixing incomparable runs.
+const SchemaVersion = 1
+
+// ErrUncacheable marks a configuration whose simulation outcome is not a
+// pure function of its serialised form. The only such configuration today
+// is fault injection: sim.Config.FaultInject carries live hook state that
+// does not serialise, so two runs with "the same" injector are not
+// interchangeable. Uncacheable cells are always simulated and never stored.
+var ErrUncacheable = errors.New("campaign: configuration is uncacheable (fault injection carries non-serialisable state)")
+
+// Key is the content address of one simulation cell: a hex SHA-256 over
+// the canonical JSON of (SchemaVersion, full sim.Config, and each
+// workload's identity and generator parameters). Two cells share a key
+// exactly when they are the same experiment.
+type Key string
+
+// workloadKey is the result-determining identity of one workload. Weight,
+// Seen and MemoryIntensive are selection metadata — they decide which
+// matrices a workload appears in, not what its simulation produces — so
+// they are deliberately excluded: re-tagging a workload must not invalidate
+// its cached runs.
+type workloadKey struct {
+	Name  string          `json:"name"`
+	Suite string          `json:"suite"`
+	Gen   trace.GenConfig `json:"gen"`
+}
+
+// keyPayload is the canonical pre-image. Go's encoding/json is
+// deterministic for struct fields (declaration order) and maps (sorted
+// keys), so marshalling is a stable serialisation without a bespoke
+// canonicaliser.
+type keyPayload struct {
+	Schema    int              `json:"schema"`
+	Config    *sim.Config      `json:"config,omitempty"`
+	Multi     *sim.MultiConfig `json:"multi,omitempty"`
+	Workloads []workloadKey    `json:"workloads"`
+}
+
+// KeyOf returns the cache key for a single-core cell: cfg run over w.
+// It returns ErrUncacheable when cfg carries a fault injector.
+func KeyOf(cfg sim.Config, w trace.Workload) (Key, error) {
+	if cfg.FaultInject != nil {
+		return "", ErrUncacheable
+	}
+	return hashPayload(keyPayload{
+		Schema:    SchemaVersion,
+		Config:    &cfg,
+		Workloads: []workloadKey{{Name: w.Name, Suite: w.Suite, Gen: w.Config}},
+	})
+}
+
+// MixKeyOf returns the cache key for a multi-core cell: mc run over mix
+// (workload i on core i; order matters).
+func MixKeyOf(mc sim.MultiConfig, mix []trace.Workload) (Key, error) {
+	if mc.PerCore.FaultInject != nil {
+		return "", ErrUncacheable
+	}
+	wks := make([]workloadKey, len(mix))
+	for i, w := range mix {
+		wks[i] = workloadKey{Name: w.Name, Suite: w.Suite, Gen: w.Config}
+	}
+	return hashPayload(keyPayload{Schema: SchemaVersion, Multi: &mc, Workloads: wks})
+}
+
+func hashPayload(p keyPayload) (Key, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("campaign: hashing cell: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return Key(hex.EncodeToString(sum[:])), nil
+}

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// ManifestEntry is one checkpoint line: a cell that completed, its content
+// key at the time, and its full result. The manifest is self-contained —
+// resuming needs no cache directory — and the Key field makes resume safe
+// against config drift: an entry whose key no longer matches the cell's
+// current content hash is ignored and the cell re-runs.
+type ManifestEntry struct {
+	ID   string       `json:"id"`
+	Key  Key          `json:"key"`
+	Runs []*stats.Run `json:"runs"`
+}
+
+// LoadManifest reads a JSONL checkpoint manifest into a map indexed by
+// content key (not cell ID: one experiment may run several campaigns —
+// e.g. one matrix per prefetcher — that reuse scenario/workload IDs
+// against one shared manifest, and the content key is what actually
+// identifies a result). A missing file is an empty manifest, not an
+// error (the first run of a campaign resumes from nothing). A torn
+// final line — the process died mid-append — is dropped; every complete
+// line before it is kept. Later entries for the same key win.
+func LoadManifest(path string) (map[string]ManifestEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]ManifestEntry{}, nil
+		}
+		return nil, fmt.Errorf("campaign: reading manifest: %w", err)
+	}
+	defer f.Close()
+	out := map[string]ManifestEntry{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e ManifestEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // torn or corrupt line: skip, keep the rest
+		}
+		if e.ID == "" || e.Key == "" || len(e.Runs) == 0 {
+			continue
+		}
+		out[string(e.Key)] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: reading manifest: %w", err)
+	}
+	return out, nil
+}
+
+// manifestWriter appends checkpoint lines, one fsync'd line per completed
+// cell, serialised by a mutex (cells complete on many workers).
+type manifestWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openManifestWriter(path string) (*manifestWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening manifest: %w", err)
+	}
+	return &manifestWriter{f: f}, nil
+}
+
+func (m *manifestWriter) append(e ManifestEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpointing %q: %w", e.ID, err)
+	}
+	b = append(b, '\n')
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: checkpointing %q: %w", e.ID, err)
+	}
+	// Sync per cell: a checkpoint that can be lost to a crash is not a
+	// checkpoint. Cells are seconds of simulation; one fsync is noise.
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: checkpointing %q: %w", e.ID, err)
+	}
+	return nil
+}
+
+func (m *manifestWriter) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.f.Close()
+}

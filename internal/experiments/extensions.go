@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -246,42 +248,57 @@ func Fig19(o Options, cores, mixes int) (*Fig19Result, error) {
 		Mixes:            mixes,
 	}
 
-	// Per-mix multi-core runs.
-	runMix := func(scen Scenario, mix []trace.Workload) ([]float64, error) {
-		mc := sim.DefaultMultiConfig()
-		mc.Cores = cores
-		mc.PerCore = baseConfig(o)
-		mc.PerCore.Core.ReplayOnEnd = true
-		scen.Configure(&mc.PerCore)
-		ms, err := sim.NewMulti(mc)
-		if err != nil {
-			return nil, err
+	// Per-mix multi-core runs, as one campaign of mix cells: every
+	// (scenario, mix) pair is a cell, cached and parallelised like the
+	// single-core matrices. The non-baseline cells declare the baseline
+	// cell of their mix as a dependency — the weighted speedup is read
+	// against it, so the DAG orders baselines first.
+	mixID := func(scen string, i int) string { return cellID(scen, "mix"+strconv.Itoa(i)) }
+	var cells []campaign.Cell
+	for i, mix := range mixList {
+		for j, sc := range scens {
+			mc := sim.DefaultMultiConfig()
+			mc.Cores = cores
+			mc.PerCore = baseConfig(o)
+			mc.PerCore.Core.ReplayOnEnd = true
+			sc.Configure(&mc.PerCore)
+			cell := campaign.Cell{ID: mixID(sc.Name, i), Multi: &mc, Mix: mix}
+			if j > 0 {
+				cell.After = []string{mixID(scens[0].Name, i)}
+			}
+			cells = append(cells, cell)
 		}
-		runs, err := ms.RunMix(mix)
-		if err != nil {
-			return nil, err
-		}
+	}
+	crep, err := campaign.Run(o.ctx(), campaign.Spec{Name: "fig19", Cells: cells}, campaign.WithExec(o.Exec))
+	if crep != nil && o.Totals != nil {
+		o.Totals.Add(crep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Fig 19 needs every mix: any failed cell aborts the figure (the
+	// distribution is meaningless with holes), matching the pre-campaign
+	// behaviour where the first mix error returned.
+	if ferr := crep.Err(); ferr != nil {
+		return nil, ferr
+	}
+	mixIPCs := func(scen string, i int) []float64 {
+		runs := crep.MixRuns[mixID(scen, i)]
 		ipcs := make([]float64, len(runs))
-		for i, r := range runs {
-			ipcs[i] = r.IPC()
+		for k, r := range runs {
+			ipcs[k] = r.IPC()
 		}
-		return ipcs, nil
+		return ipcs
 	}
 
-	for _, mix := range mixList {
-		baseIPC, err := runMix(scens[0], mix)
-		if err != nil {
-			return nil, err
-		}
+	for mi, mix := range mixList {
+		baseIPC := mixIPCs(scens[0].Name, mi)
 		baseIso := make([]float64, len(mix))
 		for i, w := range mix {
 			baseIso[i] = iso["Discard PGC"][w.Name].IPC()
 		}
 		for _, sc := range scens[1:] {
-			multIPC, err := runMix(sc, mix)
-			if err != nil {
-				return nil, err
-			}
+			multIPC := mixIPCs(sc.Name, mi)
 			scIso := make([]float64, len(mix))
 			for i, w := range mix {
 				scIso[i] = iso[sc.Name][w.Name].IPC()

@@ -11,28 +11,28 @@ package experiments
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
-// Options scales an experiment.
+// Options scales an experiment. Execution policy — worker-pool width,
+// retry/timeout fault isolation, the result cache and the resume manifest
+// — lives in the embedded campaign.Exec, the same struct the campaign
+// engine takes: one struct, one defaults path for both the experiments
+// harness and direct campaign callers. (The former Options.Parallel is now
+// Exec.Workers; RunTimeout/Retries/RetryBackoff moved unrenamed.)
 type Options struct {
 	// Warmup and Instrs are the per-workload instruction budgets.
 	Warmup, Instrs uint64
 	// MaxWorkloads caps the workload set (evenly sampled to keep suite
 	// diversity); 0 means the full set.
 	MaxWorkloads int
-	// Parallel is the number of concurrent simulations (default NumCPU).
-	Parallel int
 	// Prefetcher is the L1D prefetcher under study (default "berti").
 	Prefetcher string
 
@@ -40,15 +40,11 @@ type Options struct {
 	// it between and inside runs (at the simulator's watchdog poll grain).
 	// nil means context.Background().
 	Ctx context.Context
-	// RunTimeout, when non-zero, bounds each individual run's wall-clock
-	// time; an expired run is recorded as a failure, not a campaign abort.
-	RunTimeout time.Duration
-	// Retries is how many times a retryable failure (sim.Retryable) is
-	// retried before landing in the failure ledger; 0 disables retry.
-	Retries int
-	// RetryBackoff is the base backoff between retries (multiplied by the
-	// attempt number); 0 retries immediately.
-	RetryBackoff time.Duration
+	// Exec is the campaign execution policy: Workers (concurrent
+	// simulations, default NumCPU), Retries/RetryBackoff/RunTimeout
+	// (per-run fault isolation), CacheDir (content-addressed result
+	// cache) and ResumeManifest (checkpoint/resume).
+	campaign.Exec
 	// Watchdog overrides the simulator's forward-progress watchdog for
 	// every run of the experiment (zero value = simulator defaults).
 	Watchdog sim.WatchdogConfig
@@ -61,6 +57,10 @@ type Options struct {
 	// scenario has been applied — the hook fault-injection tests and
 	// per-workload overrides use.
 	Configure func(cfg *sim.Config, scenario string, wl trace.Workload)
+	// Totals, when non-nil, accumulates campaign cache accounting
+	// (simulated / cache-hit / resumed cells) across every matrix the
+	// experiment runs; cmd/experiments prints it after each experiment.
+	Totals *campaign.Totals
 }
 
 func (o Options) withDefaults() Options {
@@ -69,9 +69,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Instrs == 0 {
 		o.Instrs = 100_000
-	}
-	if o.Parallel <= 0 {
-		o.Parallel = runtime.NumCPU()
 	}
 	if o.Prefetcher == "" {
 		o.Prefetcher = "berti"
@@ -160,6 +157,11 @@ type MatrixReport struct {
 	Matrix   Matrix
 	Failures []RunFailure
 	Total    int // runs attempted = len(scenarios) × len(workloads)
+	// CacheHits, Resumed and Simulated partition the completed runs by
+	// provenance: served from the content-addressed result cache, replayed
+	// from a resume manifest, or actually simulated. Without Exec.CacheDir
+	// or Exec.ResumeManifest every completed run is Simulated.
+	CacheHits, Resumed, Simulated int
 }
 
 // Complete reports whether every run succeeded.
@@ -215,75 +217,55 @@ func RunMatrix(o Options, wls []trace.Workload, scens []Scenario) (Matrix, error
 	return rep.Matrix, rep.Err()
 }
 
-// RunMatrixCtx simulates every workload under every scenario, in parallel,
-// with fault isolation: a panicking or erroring run is converted into a
-// typed failure-ledger entry (retryable failures are retried with backoff
-// up to Options.Retries) and every other run still completes. The returned
-// error is non-nil only when ctx itself is cancelled or expires; the report
-// then holds whatever completed before teardown.
+// RunMatrixCtx simulates every workload under every scenario as one
+// campaign: each (scenario, workload) pair becomes a cell of a dependency-
+// free DAG executed on the campaign engine's sharded work-stealing pool,
+// with the engine's fault isolation (a panicking or erroring run becomes a
+// typed failure-ledger entry; retryable failures retry with backoff up to
+// Exec.Retries) and, when Exec.CacheDir / Exec.ResumeManifest are set, its
+// content-addressed result cache and checkpoint manifest. The returned
+// error is non-nil only when ctx itself is cancelled or expires (or the
+// cache/manifest is unusable); the report then holds whatever completed
+// before teardown.
 func RunMatrixCtx(ctx context.Context, o Options, wls []trace.Workload, scens []Scenario) (*MatrixReport, error) {
 	o = o.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	type job struct {
-		scen Scenario
-		wl   trace.Workload
-	}
-	jobs := make(chan job)
-	type res struct {
-		scen, wl string
-		run      *stats.Run
-		attempts int
-		err      error
-	}
-	results := make(chan res)
-
-	var wg sync.WaitGroup
-	for i := 0; i < o.Parallel; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				run, attempts, err := runJob(ctx, o, j.scen, j.wl)
-				results <- res{j.scen.Name, j.wl.Name, run, attempts, err}
+	spec := campaign.Spec{Name: "matrix", Cells: make([]campaign.Cell, 0, len(scens)*len(wls))}
+	for _, sc := range scens {
+		for _, wl := range wls {
+			cfg := baseConfig(o)
+			sc.Configure(&cfg)
+			if o.Configure != nil {
+				o.Configure(&cfg, sc.Name, wl)
 			}
-		}()
-	}
-	go func() {
-		defer close(jobs)
-		for _, sc := range scens {
-			for _, wl := range wls {
-				select {
-				case jobs <- job{sc, wl}:
-				case <-ctx.Done():
-					return // stop feeding; in-flight runs unwind at the poll grain
-				}
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	rep := &MatrixReport{Matrix: Matrix{}, Total: len(scens) * len(wls)}
-	for r := range results {
-		if r.err != nil {
-			// Runs torn down by the campaign-wide cancellation are not
-			// individual failures; the returned ctx error covers them.
-			if ctx.Err() != nil && errors.Is(r.err, ctx.Err()) {
-				continue
-			}
-			rep.Failures = append(rep.Failures, RunFailure{
-				Scenario: r.scen, Workload: r.wl, Attempts: r.attempts, Err: r.err,
+			spec.Cells = append(spec.Cells, campaign.Cell{
+				ID: cellID(sc.Name, wl.Name), Config: cfg, Workload: wl,
 			})
-			continue
 		}
-		if rep.Matrix[r.scen] == nil {
-			rep.Matrix[r.scen] = map[string]*stats.Run{}
+	}
+	rep := &MatrixReport{Matrix: Matrix{}, Total: len(spec.Cells)}
+	crep, err := campaign.Run(ctx, spec, campaign.WithExec(o.Exec))
+	if crep == nil {
+		return rep, err
+	}
+	if o.Totals != nil {
+		o.Totals.Add(crep)
+	}
+	rep.CacheHits, rep.Resumed, rep.Simulated = crep.CacheHits, crep.Resumed, crep.Simulated
+	for id, run := range crep.Runs {
+		scen, wl := splitCellID(id)
+		if rep.Matrix[scen] == nil {
+			rep.Matrix[scen] = map[string]*stats.Run{}
 		}
-		rep.Matrix[r.scen][r.wl] = r.run
+		rep.Matrix[scen][wl] = run
+	}
+	for _, f := range crep.Failures {
+		scen, wl := splitCellID(f.ID)
+		rep.Failures = append(rep.Failures, RunFailure{
+			Scenario: scen, Workload: wl, Attempts: f.Attempts, Err: f.Err,
+		})
 	}
 	sort.Slice(rep.Failures, func(i, j int) bool {
 		a, b := rep.Failures[i], rep.Failures[j]
@@ -292,66 +274,20 @@ func RunMatrixCtx(ctx context.Context, o Options, wls []trace.Workload, scens []
 		}
 		return a.Workload < b.Workload
 	})
-	return rep, ctx.Err()
+	return rep, err
 }
 
-// runJob runs one (scenario, workload) pair, retrying retryable failures
-// with linear backoff up to Options.Retries.
-func runJob(ctx context.Context, o Options, sc Scenario, wl trace.Workload) (run *stats.Run, attempts int, err error) {
-	for attempts = 1; ; attempts++ {
-		run, err = runOnce(ctx, o, sc, wl)
-		if err == nil || !sim.Retryable(err) || attempts > o.Retries || ctx.Err() != nil {
-			return run, attempts, err
-		}
-		if delay := o.RetryBackoff * time.Duration(attempts); delay > 0 {
-			t := time.NewTimer(delay)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return run, attempts, err
-			case <-t.C:
-			}
-		}
-	}
-}
+// cellID names the campaign cell for one (scenario, workload) pair.
+// Workload names never contain '/', so splitCellID recovers the pair by
+// splitting at the last separator even if a scenario name contains one.
+func cellID(scenario, workload string) string { return scenario + "/" + workload }
 
-// runOnce runs one simulation attempt, converting panics into *sim.RunError
-// so a poisoned workload cannot take the process down, and dropping partial
-// statistics (a run interrupted mid-measurement is not comparable).
-func runOnce(ctx context.Context, o Options, sc Scenario, wl trace.Workload) (run *stats.Run, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			run = nil
-			// A FailFast checker aborts the run by panicking with its typed
-			// *CheckError (modelling a hardware assertion). That is a
-			// first-class verdict about the simulator, not a crash: ledger it
-			// under the "check" stage so CheckFailures can tell correctness
-			// violations from environmental failures.
-			if ce, ok := r.(*sim.CheckError); ok {
-				err = &sim.RunError{Workload: wl.Name, Stage: "check", Err: ce}
-				return
-			}
-			err = &sim.RunError{
-				Workload: wl.Name, Stage: "measure", Panicked: true,
-				Err: fmt.Errorf("recovered panic: %v", r),
-			}
-		}
-	}()
-	cfg := baseConfig(o)
-	sc.Configure(&cfg)
-	if o.Configure != nil {
-		o.Configure(&cfg, sc.Name, wl)
+func splitCellID(id string) (scenario, workload string) {
+	i := strings.LastIndex(id, "/")
+	if i < 0 {
+		return id, id
 	}
-	if o.RunTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.RunTimeout)
-		defer cancel()
-	}
-	run, err = sim.RunWorkloadCtx(ctx, cfg, wl)
-	if err != nil {
-		run = nil
-	}
-	return run, err
+	return id[:i], id[i+1:]
 }
 
 // Speedups returns the per-workload IPC speedups of scenario over base,

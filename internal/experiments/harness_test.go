@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/faultinject"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -155,7 +156,7 @@ func TestRunMatrixReturnsPartialOnError(t *testing.T) {
 
 func TestRunMatrixCtxCancellationIsPrompt(t *testing.T) {
 	wls := tinySet(t)
-	o := Options{Warmup: 0, Instrs: 2_000_000_000, Parallel: 2}
+	o := Options{Warmup: 0, Instrs: 2_000_000_000, Exec: campaign.Exec{Workers: 2}}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {

@@ -52,6 +52,7 @@ type Berti struct {
 	missLat  uint64 // EWMA of observed demand fill latency
 	accesses uint64
 	degree   int
+	buf      []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewBerti builds a Berti engine with the default table size and degree.
@@ -127,7 +128,7 @@ func (b *Berti) Train(a Access) []Candidate {
 	}
 
 	// Issue: best deltas above the confidence threshold.
-	var out []Candidate
+	out := b.buf[:0]
 	for round := 0; round < b.degree; round++ {
 		best := -1
 		bestConf := bertiIssueConf - 1
@@ -154,6 +155,7 @@ func (b *Berti) Train(a Access) []Candidate {
 			break
 		}
 	}
+	b.buf = out
 	return out
 }
 

@@ -46,6 +46,7 @@ type BOP struct {
 	best      int64
 	active    bool
 	bestScore int
+	buf       []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewBOP builds a BOP engine with the default RR-table size.
@@ -106,7 +107,8 @@ func (b *BOP) Train(a Access) []Candidate {
 		return nil
 	}
 	if t, ok := targetOf(line + b.best); ok {
-		return []Candidate{{Target: t, Delta: b.best, Meta: uint64(b.bestScore)}}
+		b.buf = append(b.buf[:0], Candidate{Target: t, Delta: b.best, Meta: uint64(b.bestScore)})
+		return b.buf
 	}
 	return nil
 }

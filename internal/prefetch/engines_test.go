@@ -40,7 +40,9 @@ func TestStridePerPCIsolation(t *testing.T) {
 		s.Train(Access{Addr: 0x10000 + uint64(i)*2*mem.LineSize, PC: 0xA})
 		s.Train(Access{Addr: 0x80000 + uint64(i)*7*mem.LineSize, PC: 0xB})
 	}
-	gotA := s.Train(Access{Addr: 0x10000 + 10*2*mem.LineSize, PC: 0xA})
+	// Train returns a scratch slice valid only until the next Train; copy
+	// before interleaving the two PCs' final probes.
+	gotA := append([]Candidate(nil), s.Train(Access{Addr: 0x10000 + 10*2*mem.LineSize, PC: 0xA})...)
 	gotB := s.Train(Access{Addr: 0x80000 + 10*7*mem.LineSize, PC: 0xB})
 	if len(gotA) == 0 || gotA[0].Delta != 2 {
 		t.Fatalf("PC A: %+v", gotA)

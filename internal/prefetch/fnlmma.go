@@ -34,6 +34,7 @@ type FNLMMA struct {
 
 	lastLine int64
 	haveLast bool
+	buf      []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewFNLMMA builds the engine.
@@ -75,7 +76,7 @@ func (p *FNLMMA) Train(a Access) []Candidate {
 	p.lastLine = line
 	p.haveLast = true
 
-	var out []Candidate
+	out := p.buf[:0]
 	// FNL: prefetch the next line when it has proven useful.
 	if p.fnl[fnlIndex(line)] >= 0 {
 		if t, ok := targetOf(line + 1); ok {
@@ -94,5 +95,6 @@ func (p *FNLMMA) Train(a Access) []Candidate {
 		}
 		cur = e.next
 	}
+	p.buf = out
 	return out
 }

@@ -56,6 +56,7 @@ type IPCP struct {
 	table   []ipcpIPEntry
 	regions [ipcpRegionTable]ipcpRegion
 	cplx    [ipcpCPLXSize]cplxEntry
+	buf     []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewIPCP builds an IPCP engine with the default IP-table size.
@@ -126,8 +127,10 @@ func (p *IPCP) Train(a Access) []Candidate {
 	r.last = line
 	stream := r.count >= ipcpStreamDense
 
-	var out []Candidate
+	out := p.buf[:0]
 	defer func() {
+		// Keep the (possibly regrown) scratch for the next Train.
+		p.buf = out
 		// Update per-IP stride state after deciding candidates.
 		if e.lastLine != 0 {
 			s := line - e.lastLine

@@ -52,7 +52,9 @@ type Prefetcher interface {
 	// Name identifies the engine ("berti", "ipcp", "bop", ...).
 	Name() string
 	// Train observes a demand access and returns the prefetch candidates
-	// it wants issued, in priority order.
+	// it wants issued, in priority order. The returned slice is a scratch
+	// buffer owned by the engine, valid only until its next Train call;
+	// callers must consume (or copy) it synchronously.
 	Train(a Access) []Candidate
 	// FillLatency feeds back an observed demand-miss fill latency; engines
 	// that estimate timeliness (Berti) consume it, others ignore it.

@@ -38,6 +38,7 @@ type SMS struct {
 	agt   [smsAGTSize]smsAGTEntry
 	pht   []smsPHTEntry
 	clock uint64
+	buf   []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewSMS builds an SMS engine.
@@ -83,7 +84,7 @@ func (s *SMS) Train(a Access) []Candidate {
 		}
 	}
 
-	var out []Candidate
+	out := s.buf[:0]
 	if entry == nil {
 		// New generation: promote the victim's footprint to the PHT, then
 		// start recording, and prefetch the footprint predicted for this
@@ -110,5 +111,6 @@ func (s *SMS) Train(a Access) []Candidate {
 	}
 	entry.bitmap |= 1 << uint(offset)
 	entry.clock = s.clock
+	s.buf = out
 	return out
 }

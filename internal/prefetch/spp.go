@@ -37,8 +37,9 @@ type sppPTEntry struct {
 // SPP is the signature-path prefetcher.
 type SPP struct {
 	NopLatency
-	st [sppSTSize]sppSTEntry
-	pt [sppPTSize]sppPTEntry
+	st  [sppSTSize]sppSTEntry
+	pt  [sppPTSize]sppPTEntry
+	buf []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewSPP builds an SPP engine.
@@ -116,7 +117,7 @@ func (s *SPP) Train(a Access) []Candidate {
 	e.lastOff = off
 
 	// Lookahead along the signature path.
-	var out []Candidate
+	out := s.buf[:0]
 	sig := e.sig
 	cur := line
 	conf := 100
@@ -137,6 +138,7 @@ func (s *SPP) Train(a Access) []Candidate {
 		}
 		sig = sppAdvance(sig, d)
 	}
+	s.buf = out
 	return out
 }
 
@@ -146,6 +148,7 @@ type NextLine struct {
 	NopLatency
 	// Degree is how many sequential lines to prefetch (default 1).
 	Degree int
+	buf    []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // Name implements Prefetcher.
@@ -158,11 +161,12 @@ func (n *NextLine) Train(a Access) []Candidate {
 		deg = 1
 	}
 	line := lineOf(a.Addr)
-	out := make([]Candidate, 0, deg)
+	out := n.buf[:0]
 	for k := 1; k <= deg; k++ {
 		if t, ok := targetOf(line + int64(k)); ok {
 			out = append(out, Candidate{Target: t, Delta: int64(k)})
 		}
 	}
+	n.buf = out
 	return out
 }

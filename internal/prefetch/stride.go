@@ -27,6 +27,7 @@ type Stride struct {
 	table []strideEntry
 	// Degree is the number of stride multiples issued (default 2).
 	Degree int
+	buf    []Candidate // Train's reusable scratch (see Prefetcher.Train)
 }
 
 // NewStride builds a stride engine.
@@ -69,11 +70,12 @@ func (s *Stride) Train(a Access) []Candidate {
 	if deg <= 0 {
 		deg = strideDegree
 	}
-	out := make([]Candidate, 0, deg)
+	out := s.buf[:0]
 	for k := 1; k <= deg; k++ {
 		if t, ok := targetOf(line + e.stride*int64(k)); ok {
 			out = append(out, Candidate{Target: t, Delta: e.stride * int64(k)})
 		}
 	}
+	s.buf = out
 	return out
 }

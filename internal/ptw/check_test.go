@@ -25,7 +25,7 @@ func TestCheckInvariants(t *testing.T) {
 
 	t.Run("live-walks-not-flagged", func(t *testing.T) {
 		w, _ := newWalker(t, &flatMem{latency: 10}, false)
-		w.inflight[0xdef] = &inflightWalk{ready: 1 << 40}
+		w.inflight[0xdef] = inflightWalk{ready: 1 << 40}
 		if err := w.CheckInvariants(50); err != nil {
 			t.Fatalf("live walk flagged: %v", err)
 		}
@@ -33,7 +33,7 @@ func TestCheckInvariants(t *testing.T) {
 	t.Run("ptw-inflight-overflow", func(t *testing.T) {
 		w, _ := newWalker(t, &flatMem{latency: 10}, false)
 		for i := 0; i <= w.cfg.MaxInflight; i++ {
-			w.inflight[uint64(i)] = &inflightWalk{ready: 1 << 40}
+			w.inflight[uint64(i)] = inflightWalk{ready: 1 << 40}
 		}
 		if err := w.CheckInvariants(0); err == nil || !strings.HasPrefix(err.Error(), "ptw-inflight-overflow:") {
 			t.Fatalf("CheckInvariants = %v", err)

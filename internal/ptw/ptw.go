@@ -116,8 +116,14 @@ type Walker struct {
 	level cache.Level // where walk reads are issued (the L1D, per ChampSim)
 	pscs  [vmem.LevelPT]*psc
 
-	inflight map[uint64]*inflightWalk // 4K VPN → walk
+	inflight map[uint64]inflightWalk // 4K VPN → walk
 	Stats    *stats.PTWStats
+
+	// stepBuf and stepReq are per-walk scratch: the step list is rebuilt
+	// into one reusable buffer and every serialized page-table read goes
+	// through one reusable request (the cache consumes it synchronously).
+	stepBuf []vmem.WalkStep
+	stepReq cache.Request
 
 	// depthHist samples the number of page-table reads each walk issued to
 	// memory (0 when the PSCs covered everything but the leaf was merged);
@@ -141,7 +147,7 @@ func New(cfg Config, as *vmem.AddressSpace, level cache.Level) (*Walker, error) 
 		cfg:      cfg,
 		as:       as,
 		level:    level,
-		inflight: make(map[uint64]*inflightWalk),
+		inflight: make(map[uint64]inflightWalk),
 		Stats:    &stats.PTWStats{},
 	}
 	for l := range w.pscs {
@@ -200,7 +206,8 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 		w.gc(start)
 	}
 
-	steps, tr := w.as.Walk(va)
+	steps, tr := w.as.WalkInto(w.stepBuf, va)
+	w.stepBuf = steps
 
 	// All PSCs are probed in parallel; the deepest hit decides where the
 	// walk resumes. Leaf reads (PT level, or PD level for 2MB leaves) are
@@ -220,8 +227,8 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 	// hierarchy (the next entry address depends on the previous read).
 	ready := start + w.cfg.PSCLatency
 	for i := firstLevel; i < len(steps); i++ {
-		req := &cache.Request{PA: steps[i].PA, Type: mem.PTWRead}
-		ready = w.level.Access(req, ready+w.cfg.StepLatency)
+		w.stepReq = cache.Request{PA: steps[i].PA, Type: mem.PTWRead}
+		ready = w.level.Access(&w.stepReq, ready+w.cfg.StepLatency)
 		w.Stats.WalkMemAccesses++
 		if i <= lastCacheable {
 			w.pscs[steps[i].Level].insert(tagFor(va, steps[i].Level))
@@ -230,7 +237,7 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 	w.depthHist.Observe(uint64(len(steps) - firstLevel))
 	w.Trace.Emit(cycle, metrics.EvWalkEnd, va.PageID(), ready)
 
-	w.inflight[va.PageID()] = &inflightWalk{ready: ready, tr: tr}
+	w.inflight[va.PageID()] = inflightWalk{ready: ready, tr: tr}
 	return tr, ready
 }
 

@@ -31,7 +31,7 @@ func TestCheckCleanRun(t *testing.T) {
 			if !ok {
 				t.Fatal("workload missing")
 			}
-			if _, err := RunWorkload(cfg, w); err != nil {
+			if _, err := RunWorkload(context.Background(), cfg, w); err != nil {
 				t.Fatalf("checked run failed: %v", err)
 			}
 		})
@@ -54,7 +54,7 @@ func TestCheckCleanRunFamilies(t *testing.T) {
 			if !ok {
 				t.Fatalf("workload %s missing", name)
 			}
-			if _, err := RunWorkload(cfg, w); err != nil {
+			if _, err := RunWorkload(context.Background(), cfg, w); err != nil {
 				t.Fatalf("checked run failed: %v", err)
 			}
 		})
@@ -72,7 +72,7 @@ func TestInjectedMSHRLeakCaught(t *testing.T) {
 		t.Fatal("workload missing")
 	}
 
-	_, err := RunWorkload(cfg, w)
+	_, err := RunWorkload(context.Background(), cfg, w)
 	ce := CheckFailure(err)
 	if ce == nil {
 		t.Fatalf("leaked run returned %v, want a CheckError", err)
@@ -128,7 +128,7 @@ func TestInjectedTLBStalePTECaught(t *testing.T) {
 		t.Fatal("workload missing")
 	}
 
-	_, err := RunWorkload(cfg, w)
+	_, err := RunWorkload(context.Background(), cfg, w)
 	ce := CheckFailure(err)
 	if ce == nil {
 		t.Fatalf("stale-PTE run returned %v, want a CheckError", err)
@@ -173,7 +173,7 @@ func TestCheckFailFastPanics(t *testing.T) {
 			t.Fatal("panic CheckError carries no violations")
 		}
 	}()
-	_, _ = RunWorkload(cfg, w)
+	_, _ = RunWorkload(context.Background(), cfg, w)
 }
 
 // TestCheckDisabledZeroAlloc pins the disabled hot path: the only cost of
@@ -240,7 +240,7 @@ func TestCheckedMulticore(t *testing.T) {
 	}
 	w1, _ := trace.ByName("spec.stream_s00")
 	w2, _ := trace.ByName("spec.pagehop_s00")
-	runs, err := m.RunMixCtx(context.Background(), []trace.Workload{w1, w2})
+	runs, err := m.RunMix(context.Background(), []trace.Workload{w1, w2})
 	if err != nil {
 		t.Fatalf("checked mix failed: %v", err)
 	}
@@ -263,7 +263,7 @@ func TestCheckedMulticoreCatchesInjectedLeak(t *testing.T) {
 		t.Fatal(err)
 	}
 	w, _ := trace.ByName("spec.stream_s00")
-	_, err = m.RunMixCtx(context.Background(), []trace.Workload{w, w})
+	_, err = m.RunMix(context.Background(), []trace.Workload{w, w})
 	if CheckFailure(err) == nil {
 		t.Fatalf("checked mix returned %v, want a CheckError", err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/prefetch"
@@ -15,7 +16,7 @@ func TestExtraPrefetchersRun(t *testing.T) {
 		cfg.L1DPrefetcher = pf
 		cfg.WarmupInstrs = 5_000
 		cfg.SimInstrs = 15_000
-		r, err := RunWorkload(cfg, w)
+		r, err := RunWorkload(context.Background(), cfg, w)
 		if err != nil {
 			t.Fatalf("%s: %v", pf, err)
 		}
@@ -60,7 +61,7 @@ func TestRunTraceFromRecording(t *testing.T) {
 	cfg := testConfig(PolicyDripper)
 	cfg.WarmupInstrs = 5_000
 	cfg.SimInstrs = 20_000
-	run, err := RunTrace(cfg, "recorded", "file", trace.NewSliceReader(instrs))
+	run, err := RunTrace(context.Background(), cfg, "recorded", "file", trace.NewSliceReader(instrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestBranchPredictorAffectsIPC(t *testing.T) {
 	cfg := testConfig(PolicyDiscard)
 	cfg.WarmupInstrs = 10_000
 	cfg.SimInstrs = 30_000
-	withPenalty, err := RunWorkload(cfg, w)
+	withPenalty, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestBranchPredictorAffectsIPC(t *testing.T) {
 		t.Fatal("no mispredictions on a hard-branch workload")
 	}
 	cfg.Core.MispredictPenalty = 0
-	free, err := RunWorkload(cfg, w)
+	free, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestSimulatorDeterminism(t *testing.T) {
 	cfg := testConfig(PolicyDripper)
 	cfg.WarmupInstrs = 10_000
 	cfg.SimInstrs = 30_000
-	a, err := RunWorkload(cfg, w)
+	a, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunWorkload(cfg, w)
+	b, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestMultiCoreDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := ms.RunMix(mix)
+		rs, err := ms.RunMix(context.Background(), mix)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestL1IPrefetcherSelection(t *testing.T) {
 		cfg.L1IPrefetcher = pf
 		cfg.WarmupInstrs = 2_000
 		cfg.SimInstrs = 5_000
-		if _, err := RunWorkload(cfg, w); err != nil {
+		if _, err := RunWorkload(context.Background(), cfg, w); err != nil {
 			t.Fatalf("%s: %v", pf, err)
 		}
 	}

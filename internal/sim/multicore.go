@@ -74,16 +74,11 @@ func NewMulti(cfg MultiConfig) (*MultiSystem, error) {
 // cores that finish their instruction budget replay their trace until every
 // core has finished; statistics stop at each core's own budget boundary
 // (the core stops retiring into Stats once its budget is spent, so replay
-// only keeps pressure on the shared levels).
-func (m *MultiSystem) RunMix(mix []trace.Workload) ([]*stats.Run, error) {
-	return m.RunMixCtx(context.Background(), mix)
-}
-
-// RunMixCtx is RunMix under a context and the per-core watchdog: it returns
-// ctx.Err() promptly on cancellation and a *StallError when no core retires
-// any instruction for the configured bound (a shared-level deadlock would
-// otherwise spin the interleave loop forever).
-func (m *MultiSystem) RunMixCtx(ctx context.Context, mix []trace.Workload) ([]*stats.Run, error) {
+// only keeps pressure on the shared levels). It returns ctx.Err() promptly
+// on cancellation and a *StallError when no core retires any instruction for
+// the watchdog's configured bound (a shared-level deadlock would otherwise
+// spin the interleave loop forever).
+func (m *MultiSystem) RunMix(ctx context.Context, mix []trace.Workload) ([]*stats.Run, error) {
 	if len(mix) != len(m.Systems) {
 		return nil, fmt.Errorf("sim: mix has %d workloads for %d cores", len(mix), len(m.Systems))
 	}
@@ -137,6 +132,13 @@ func (m *MultiSystem) RunMixCtx(ctx context.Context, mix []trace.Workload) ([]*s
 		return nil, err
 	}
 	return out, nil
+}
+
+// RunMixCtx forwards to RunMix, which is now context-first itself.
+//
+// Deprecated: call RunMix directly.
+func (m *MultiSystem) RunMixCtx(ctx context.Context, mix []trace.Workload) ([]*stats.Run, error) {
+	return m.RunMix(ctx, mix)
 }
 
 // checkSweep runs every core's invariant checker once — the multi-core

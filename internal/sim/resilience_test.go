@@ -34,7 +34,7 @@ func TestWatchdogCatchesInjectedStall(t *testing.T) {
 	cfg.FaultInject = faultinject.New(faultinject.Config{StallRetireAfter: 8_000})
 	cfg.Watchdog = WatchdogConfig{NoRetireBound: 50_000, PollEvery: 1_000}
 
-	_, err := RunWorkload(cfg, w)
+	_, err := RunWorkload(context.Background(), cfg, w)
 	if err == nil {
 		t.Fatal("stalled run completed")
 	}
@@ -76,7 +76,7 @@ func TestWatchdogCycleCeiling(t *testing.T) {
 	cfg.WarmupInstrs = 0
 	cfg.Watchdog = WatchdogConfig{MaxCycles: 20_000, PollEvery: 1_000}
 
-	_, err := RunWorkload(cfg, w)
+	_, err := RunWorkload(context.Background(), cfg, w)
 	var stall *StallError
 	if !errors.As(err, &stall) {
 		t.Fatalf("want StallError, got %v", err)
@@ -98,7 +98,7 @@ func TestRunTraceCancellationIsPrompt(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	run, err := RunWorkloadCtx(ctx, cfg, w)
+	run, err := RunWorkload(ctx, cfg, w)
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("cancellation took %v", elapsed)
 	}
@@ -114,7 +114,7 @@ func TestRunTraceCancellationIsPrompt(t *testing.T) {
 func TestDefaultWatchdogDoesNotFireOnHealthyRuns(t *testing.T) {
 	cfg := DefaultConfig()
 	w := testWorkload(t, &cfg)
-	run, err := RunWorkload(cfg, w)
+	run, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatalf("healthy run failed: %v", err)
 	}
@@ -126,13 +126,13 @@ func TestDefaultWatchdogDoesNotFireOnHealthyRuns(t *testing.T) {
 func TestInjectedMemLatencyDegradesIPC(t *testing.T) {
 	cfg := DefaultConfig()
 	w := testWorkload(t, &cfg)
-	base, err := RunWorkload(cfg, w)
+	base, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	slow := cfg
 	slow.FaultInject = faultinject.New(faultinject.Config{ExtraMemLatency: 2_000})
-	degraded, err := RunWorkload(slow, w)
+	degraded, err := RunWorkload(context.Background(), slow, w)
 	if err != nil {
 		t.Fatalf("latency-injected run must still terminate: %v", err)
 	}
@@ -141,7 +141,7 @@ func TestInjectedMemLatencyDegradesIPC(t *testing.T) {
 	}
 }
 
-func TestRunMixCtxCancellation(t *testing.T) {
+func TestRunMixCancellation(t *testing.T) {
 	mc := DefaultMultiConfig()
 	mc.Cores = 2
 	mc.PerCore.WarmupInstrs = 0
@@ -157,7 +157,7 @@ func TestRunMixCtxCancellation(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	if _, err := m.RunMixCtx(ctx, mix); !errors.Is(err, context.Canceled) {
+	if _, err := m.RunMix(ctx, mix); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
@@ -177,7 +177,7 @@ func TestRunMixWatchdogCatchesStall(t *testing.T) {
 		t.Fatal(err)
 	}
 	mix := []trace.Workload{trace.Seen()[0], trace.Seen()[1]}
-	_, err = m.RunMixCtx(context.Background(), mix)
+	_, err = m.RunMix(context.Background(), mix)
 	var stall *StallError
 	if !errors.As(err, &stall) {
 		t.Fatalf("want StallError, got %v", err)
@@ -226,7 +226,7 @@ func TestRaceMulticoreDifferential(t *testing.T) {
 				}
 				mix = append(mix, w)
 			}
-			_, errs[i] = m.RunMixCtx(context.Background(), mix)
+			_, errs[i] = m.RunMix(context.Background(), mix)
 		}(i, names)
 	}
 	wg.Wait()

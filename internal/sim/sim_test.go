@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func pagehopWorkload(t *testing.T) trace.Workload {
 
 func runOne(t *testing.T, cfg Config, w trace.Workload) *stats.Run {
 	t.Helper()
-	r, err := RunWorkload(cfg, w)
+	r, err := RunWorkload(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestAllPoliciesRun(t *testing.T) {
 		cfg := testConfig(p)
 		cfg.WarmupInstrs = 5_000
 		cfg.SimInstrs = 10_000
-		if _, err := RunWorkload(cfg, w); err != nil {
+		if _, err := RunWorkload(context.Background(), cfg, w); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
 	}
@@ -178,7 +179,7 @@ func TestAllPrefetchersRun(t *testing.T) {
 		cfg.L1DPrefetcher = pf
 		cfg.WarmupInstrs = 5_000
 		cfg.SimInstrs = 10_000
-		r, err := RunWorkload(cfg, w)
+		r, err := RunWorkload(context.Background(), cfg, w)
 		if err != nil {
 			t.Fatalf("prefetcher %s: %v", pf, err)
 		}
@@ -195,7 +196,7 @@ func TestL2CPrefetchers(t *testing.T) {
 		cfg.L2CPrefetcher = pf
 		cfg.WarmupInstrs = 5_000
 		cfg.SimInstrs = 15_000
-		r, err := RunWorkload(cfg, w)
+		r, err := RunWorkload(context.Background(), cfg, w)
 		if err != nil {
 			t.Fatalf("L2C prefetcher %s: %v", pf, err)
 		}
@@ -213,7 +214,7 @@ func TestISOStorageForcesPermit(t *testing.T) {
 	cfg.ISOStorage = true
 	cfg.WarmupInstrs = 5_000
 	cfg.SimInstrs = 10_000
-	r, err := RunWorkload(cfg, streamWorkload(t))
+	r, err := RunWorkload(context.Background(), cfg, streamWorkload(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestLargePagesRun(t *testing.T) {
 	cfg.VMem.LargePageFraction = 0.5
 	cfg.WarmupInstrs = 5_000
 	cfg.SimInstrs = 15_000
-	r, err := RunWorkload(cfg, streamWorkload(t))
+	r, err := RunWorkload(context.Background(), cfg, streamWorkload(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestLargePagesRun(t *testing.T) {
 	}
 	// filter@2MB variant must also run.
 	cfg.FilterAt2MB = true
-	if _, err := RunWorkload(cfg, streamWorkload(t)); err != nil {
+	if _, err := RunWorkload(context.Background(), cfg, streamWorkload(t)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -248,7 +249,7 @@ func TestCustomFilterConfig(t *testing.T) {
 	cfg.FilterConfig = &fc
 	cfg.WarmupInstrs = 5_000
 	cfg.SimInstrs = 10_000
-	if _, err := RunWorkload(cfg, streamWorkload(t)); err != nil {
+	if _, err := RunWorkload(context.Background(), cfg, streamWorkload(t)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -282,7 +283,7 @@ func TestMultiCoreMix(t *testing.T) {
 		t.Fatal(err)
 	}
 	mix := []trace.Workload{streamWorkload(t), pagehopWorkload(t)}
-	runs, err := ms.RunMix(mix)
+	runs, err := ms.RunMix(context.Background(), mix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestMultiCoreMixValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ms.RunMix([]trace.Workload{streamWorkload(t)}); err == nil {
+	if _, err := ms.RunMix(context.Background(), []trace.Workload{streamWorkload(t)}); err == nil {
 		t.Fatal("wrong mix size accepted")
 	}
 	if _, err := NewMulti(MultiConfig{Cores: 0}); err == nil {
@@ -330,7 +331,7 @@ func TestSharedLLCContention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := ms.RunMix([]trace.Workload{w, w})
+	runs, err := ms.RunMix(context.Background(), []trace.Workload{w, w})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -213,6 +213,20 @@ type System struct {
 	prevPC1, prevPC2 uint64
 	seenPages        map[uint64]struct{}
 
+	// Scratch requests for the per-access hot paths. The system is driven by
+	// one goroutine and every cache access resolves synchronously (the
+	// hierarchy copies what it retains into Block/MSHR state), so each port
+	// can reuse a single request instead of allocating one per access. The
+	// prefetch scratch is distinct from the demand scratch because prefetch
+	// issue happens while the demand request is no longer live, but the L2
+	// adapter's scratch must be its own: it is used inside an L1D access that
+	// is still holding the demand or prefetch scratch.
+	demandReq cache.Request
+	fetchReq  cache.Request
+	ipfReq    cache.Request
+	pfReq     cache.Request
+	l2pfReq   cache.Request
+
 	// Epoch bookkeeping: snapshots of the counters at the last epoch.
 	epochSnap epochCounters
 
@@ -464,8 +478,8 @@ func (a *l2Adapter) Access(req *cache.Request, cycle uint64) uint64 {
 			if c.CrossesPage(uint64(req.PA)) {
 				continue // PIPT prefetchers must stay within the frame
 			}
-			pf := &cache.Request{PA: mem.PAddr(c.Target), PC: req.PC, Type: mem.Prefetch}
-			s.L2C.Access(pf, cycle)
+			s.l2pfReq = cache.Request{PA: mem.PAddr(c.Target), PC: req.PC, Type: mem.Prefetch}
+			s.L2C.Access(&s.l2pfReq, cycle)
 		}
 	}
 	return ready
@@ -475,8 +489,8 @@ func (a *l2Adapter) Access(req *cache.Request, cycle uint64) uint64 {
 func (s *System) fetch(pc uint64, cycle uint64) uint64 {
 	res := s.MMU.TranslateInstr(mem.VAddr(pc), cycle)
 	pa := res.Translation.PA(mem.VAddr(pc))
-	req := &cache.Request{PA: pa, VA: mem.VAddr(pc), PC: mem.VAddr(pc), Type: mem.InstrFetch}
-	ready := s.L1I.Access(req, res.Ready)
+	s.fetchReq = cache.Request{PA: pa, VA: mem.VAddr(pc), PC: mem.VAddr(pc), Type: mem.InstrFetch}
+	ready := s.L1I.Access(&s.fetchReq, res.Ready)
 
 	if s.L1IPf != nil {
 		icands := s.L1IPf.Train(prefetch.Access{Addr: pc, PC: pc, Cycle: cycle})
@@ -487,7 +501,8 @@ func (s *System) fetch(pc uint64, cycle uint64) uint64 {
 			}
 			target := mem.VAddr(c.Target)
 			tpa := res.Translation.PA(target)
-			s.L1I.Access(&cache.Request{PA: tpa, VA: target, Type: mem.Prefetch}, cycle)
+			s.ipfReq = cache.Request{PA: tpa, VA: target, Type: mem.Prefetch}
+			s.L1I.Access(&s.ipfReq, cycle)
 		}
 	}
 	return ready
@@ -508,8 +523,8 @@ func (s *System) demandAccess(pc, va uint64, cycle uint64, kind mem.AccessType) 
 	pa := res.Translation.PA(mem.VAddr(va))
 
 	missesBefore := s.L1D.Stats.DemandMisses
-	req := &cache.Request{PA: pa, VA: mem.VAddr(va), PC: mem.VAddr(pc), Type: kind}
-	ready := s.L1D.Access(req, res.Ready)
+	s.demandReq = cache.Request{PA: pa, VA: mem.VAddr(va), PC: mem.VAddr(pc), Type: kind}
+	ready := s.L1D.Access(&s.demandReq, res.Ready)
 	hit := s.L1D.Stats.DemandMisses == missesBefore
 	if kind == mem.Load {
 		// Fault injection: an artificial retire stall pushes the load's
@@ -568,9 +583,10 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 				continue // cannot happen for the trigger page, but be safe
 			}
 			pa := res.Translation.PA(target)
-			s.L1D.Access(&cache.Request{
+			s.pfReq = cache.Request{
 				PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch, Delta: c.Delta,
-			}, res.Ready)
+			}
+			s.L1D.Access(&s.pfReq, res.Ready)
 			issued++
 			continue
 		}
@@ -586,10 +602,11 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 			}
 			pa := res.Translation.PA(target)
 			s.Tracer.Emit(cycle, metrics.EvPageCrossIssue, uint64(target), pa.LineID())
-			s.L1D.Access(&cache.Request{
+			s.pfReq = cache.Request{
 				PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch,
 				IsPageCross: true, Delta: c.Delta,
-			}, res.Ready)
+			}
+			s.L1D.Access(&s.pfReq, res.Ready)
 			issued++
 			continue
 		}
@@ -618,10 +635,11 @@ func (s *System) issuePrefetches(pc, triggerVA uint64, firstPage bool, triggerKi
 		pa := res.Translation.PA(target)
 		s.Policy.RecordIssue(pa.LineID(), tag)
 		s.Tracer.Emit(cycle, metrics.EvPageCrossIssue, uint64(target), pa.LineID())
-		s.L1D.Access(&cache.Request{
+		s.pfReq = cache.Request{
 			PA: pa, VA: target, PC: mem.VAddr(pc), Type: mem.Prefetch,
 			IsPageCross: true, Delta: c.Delta,
-		}, res.Ready)
+		}
+		s.L1D.Access(&s.pfReq, res.Ready)
 		issued++
 	}
 	s.mDegreeHist.Observe(issued)
@@ -759,36 +777,41 @@ func (s *System) Run(ctx context.Context) error {
 }
 
 // RunWorkload builds a fresh system from cfg, warms it up on the workload,
-// measures SimInstrs instructions and returns the statistics.
-func RunWorkload(cfg Config, w trace.Workload) (*stats.Run, error) {
-	return RunWorkloadCtx(context.Background(), cfg, w)
-}
-
-// RunWorkloadCtx is RunWorkload under a context: a cancelled or expired ctx
-// tears the run down within the watchdog's poll grain.
-func RunWorkloadCtx(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run, error) {
+// measures SimInstrs instructions and returns the statistics. A cancelled or
+// expired ctx tears the run down within the watchdog's poll grain; pass
+// context.Background() when no cancellation is needed.
+func RunWorkload(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run, error) {
 	reader, err := w.NewReader()
 	if err != nil {
 		return nil, &RunError{Workload: w.Name, Stage: "setup", Err: err}
 	}
-	return RunTraceCtx(ctx, cfg, w.Name, w.Suite, reader)
+	return RunTrace(ctx, cfg, w.Name, w.Suite, reader)
 }
 
-// RunTrace runs an arbitrary instruction stream (e.g. a recorded trace
-// file) through a fresh system: warmup, stats reset, measurement.
-func RunTrace(cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
-	return RunTraceCtx(context.Background(), cfg, name, suite, reader)
+// RunWorkloadCtx forwards to RunWorkload, which is now context-first itself.
+//
+// Deprecated: call RunWorkload directly.
+func RunWorkloadCtx(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run, error) {
+	return RunWorkload(ctx, cfg, w)
 }
 
-// RunTraceCtx is RunTrace under a context. Failures come back as *RunError
-// wrapping the cause (*StallError for watchdog aborts, ctx.Err() for
-// cancellation). When the measurement phase is interrupted, the statistics
-// collected so far are returned alongside the error so interactive callers
-// can report partial results; they are not comparable to a complete run and
-// must not enter a matrix.
-func RunTraceCtx(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
+// RunTrace runs an arbitrary instruction stream (e.g. a recorded trace file)
+// through a fresh system: warmup, stats reset, measurement. Failures come
+// back as *RunError wrapping the cause (*StallError for watchdog aborts,
+// ctx.Err() for cancellation). When the measurement phase is interrupted,
+// the statistics collected so far are returned alongside the error so
+// interactive callers can report partial results; they are not comparable to
+// a complete run and must not enter a matrix.
+func RunTrace(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
 	run, _, err := RunTraceSystem(ctx, cfg, name, suite, reader)
 	return run, err
+}
+
+// RunTraceCtx forwards to RunTrace, which is now context-first itself.
+//
+// Deprecated: call RunTrace directly.
+func RunTraceCtx(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
+	return RunTrace(ctx, cfg, name, suite, reader)
 }
 
 // RunTraceSystem is RunTraceCtx returning the system alongside the run, so

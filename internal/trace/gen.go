@@ -119,9 +119,15 @@ type Gen struct {
 
 	// Instruction-side state: a loop body of ComputePerMem ops + 1 memory
 	// op + 1 backward branch, with the body's code page rotating through
-	// CodePages.
-	pcPage  int
-	pending []Instr
+	// CodePages. pending is consumed by index so refill can reuse its
+	// backing array instead of reallocating one per loop iteration.
+	pcPage     int
+	pending    []Instr
+	pendingPos int
+
+	// allStreams is the precomputed no-phases active set, so the per-access
+	// pickStream never allocates.
+	allStreams []int
 }
 
 // NewGen builds a generator; the configuration must validate.
@@ -143,6 +149,13 @@ func (g *Gen) Reset() {
 	g.emitted = 0
 	g.pcPage = 0
 	g.pending = g.pending[:0]
+	g.pendingPos = 0
+	if len(g.cfg.Phases) == 0 && g.allStreams == nil {
+		g.allStreams = make([]int, len(g.cfg.Streams))
+		for i := range g.allStreams {
+			g.allStreams[i] = i
+		}
+	}
 	g.streams = make([]streamState, len(g.cfg.Streams))
 	for i := range g.streams {
 		// Each stream gets its own disjoint virtual region, spaced far
@@ -155,11 +168,7 @@ func (g *Gen) Reset() {
 // activeStreams returns the stream indexes of the current phase.
 func (g *Gen) activeStreams() []int {
 	if len(g.cfg.Phases) == 0 {
-		idx := make([]int, len(g.cfg.Streams))
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
+		return g.allStreams
 	}
 	phase := int(g.emitted/g.cfg.PhaseLen) % len(g.cfg.Phases)
 	return g.cfg.Phases[phase]
@@ -184,11 +193,13 @@ func (g *Gen) pickStream() int {
 
 // Next implements Reader. The generator is endless.
 func (g *Gen) Next() (Instr, bool) {
-	if len(g.pending) == 0 {
+	if g.pendingPos >= len(g.pending) {
+		g.pending = g.pending[:0]
+		g.pendingPos = 0
 		g.refill()
 	}
-	in := g.pending[0]
-	g.pending = g.pending[1:]
+	in := g.pending[g.pendingPos]
+	g.pendingPos++
 	g.emitted++
 	return in, true
 }

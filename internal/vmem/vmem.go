@@ -293,12 +293,19 @@ const EntryBytes = entryBytes
 // would perform to translate va, root first, along with the resulting
 // translation. Mapping happens on first touch, so Walk always succeeds.
 func (as *AddressSpace) Walk(va mem.VAddr) ([]WalkStep, Translation) {
+	return as.WalkInto(nil, va)
+}
+
+// WalkInto is Walk appending into the caller's buffer (which may be nil or a
+// truncated scratch slice); the hardware walker reuses one buffer across
+// walks so the per-walk step list costs no allocation.
+func (as *AddressSpace) WalkInto(buf []WalkStep, va mem.VAddr) ([]WalkStep, Translation) {
 	tr, _ := as.translate(va) // ensure the path exists
 	depth := NumLevels
 	if tr.Kind == mem.Page2M {
 		depth = LevelPD + 1
 	}
-	steps := make([]WalkStep, 0, depth)
+	steps := buf[:0]
 	node := as.root
 	for level := 0; level < depth; level++ {
 		idx := levelIndex(va, level)

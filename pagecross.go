@@ -11,13 +11,21 @@
 //	cfg.L1DPrefetcher = "berti"
 //	cfg.Policy = pagecross.PolicyDripper
 //	w, _ := pagecross.WorkloadByName("gap.graph_s00")
-//	run, err := pagecross.Run(cfg, w)
+//	run, err := pagecross.Run(context.Background(), cfg, w)
 //	fmt.Println(run.IPC())
+//
+// Whole evaluations run as campaigns — DAGs of cached simulation cells:
+//
+//	spec := pagecross.CampaignSpec{Name: "sweep", Cells: cells}
+//	rep, err := pagecross.RunCampaign(ctx, spec,
+//		pagecross.WithCache(".cache"), pagecross.WithResume("sweep.manifest"))
 //
 // # Layers
 //
 //   - The simulator: Config/Run/RunMix simulate single- and multi-core
-//     systems over synthetic workloads (SeenWorkloads, UnseenWorkloads).
+//     systems over synthetic workloads (SeenWorkloads, UnseenWorkloads);
+//     RunCampaign executes whole cell DAGs with content-addressed result
+//     caching and checkpoint/resume.
 //   - The paper's mechanism: FilterConfig/NewFilter build MOKA filters from
 //     program and system features; DripperConfig returns the Table II
 //     prototypes; SelectFeatures reruns the offline selection of §III-D3.
@@ -26,6 +34,9 @@
 package pagecross
 
 import (
+	"context"
+
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -81,18 +92,73 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 func DefaultMultiConfig() MultiConfig { return sim.DefaultMultiConfig() }
 
 // Run simulates one workload on a fresh system built from cfg: warmup for
-// cfg.WarmupInstrs, then measure cfg.SimInstrs instructions.
-func Run(cfg Config, w Workload) (*Result, error) { return sim.RunWorkload(cfg, w) }
+// cfg.WarmupInstrs, then measure cfg.SimInstrs instructions. A cancelled or
+// expired ctx tears the run down within the watchdog's poll grain; pass
+// context.Background() when no cancellation is needed.
+func Run(ctx context.Context, cfg Config, w Workload) (*Result, error) {
+	return sim.RunWorkload(ctx, cfg, w)
+}
 
 // RunMix simulates a multi-programmed mix (workload i on core i) and
 // returns one Result per core.
-func RunMix(cfg MultiConfig, mix []Workload) ([]*Result, error) {
+func RunMix(ctx context.Context, cfg MultiConfig, mix []Workload) ([]*Result, error) {
 	ms, err := sim.NewMulti(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return ms.RunMix(mix)
+	return ms.RunMix(ctx, mix)
 }
+
+// CampaignSpec is a DAG of simulation cells — a whole evaluation (figure
+// matrix, ablation sweep, multi-core mix study) expressed as data.
+type CampaignSpec = campaign.Spec
+
+// CampaignCell is one node of a campaign: a single- or multi-core
+// simulation with optional ordering dependencies (After).
+type CampaignCell = campaign.Cell
+
+// CampaignReport is a campaign's outcome: results by cell ID, the failure
+// ledger, and the simulated/cache-hit/resumed accounting.
+type CampaignReport = campaign.Report
+
+// CampaignFailure is one campaign failure-ledger entry.
+type CampaignFailure = campaign.Failure
+
+// CampaignOption configures RunCampaign.
+type CampaignOption = campaign.Option
+
+// CacheKey is the content address of a simulation cell: a SHA-256 over the
+// canonical JSON of (CacheSchemaVersion, the full Config, and the
+// workload's identity and generator parameters).
+type CacheKey = campaign.Key
+
+// CacheSchemaVersion is folded into every CacheKey; bumping it invalidates
+// all previously cached results at once.
+const CacheSchemaVersion = campaign.SchemaVersion
+
+// RunCampaign executes a campaign spec on a sharded work-stealing worker
+// pool with per-cell fault isolation. With WithCache, every cell's result
+// is memoized in a content-addressed on-disk cache — a warm-cache re-run
+// performs zero simulations; with WithResume, completed cells are
+// checkpointed to a manifest and an interrupted campaign picks up where it
+// stopped. Config changes invalidate exactly the affected cells.
+func RunCampaign(ctx context.Context, spec CampaignSpec, opts ...CampaignOption) (*CampaignReport, error) {
+	return campaign.Run(ctx, spec, opts...)
+}
+
+// WithCache memoizes cell results in a content-addressed cache at dir.
+func WithCache(dir string) CampaignOption { return campaign.WithCache(dir) }
+
+// WithWorkers sets the campaign worker-pool width (default NumCPU).
+func WithWorkers(n int) CampaignOption { return campaign.WithWorkers(n) }
+
+// WithResume checkpoints completed cells to (and resumes them from) the
+// JSONL manifest at path.
+func WithResume(manifest string) CampaignOption { return campaign.WithResume(manifest) }
+
+// CacheKeyOf returns the result-cache key RunCampaign would use for one
+// single-core cell — campaign.ErrUncacheable for fault-injected configs.
+func CacheKeyOf(cfg Config, w Workload) (CacheKey, error) { return campaign.KeyOf(cfg, w) }
 
 // SeenWorkloads returns the 218 workloads used during DRIPPER's design.
 func SeenWorkloads() []Workload { return trace.Seen() }

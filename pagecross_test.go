@@ -1,6 +1,9 @@
 package pagecross
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestFacadeRun(t *testing.T) {
 	cfg := DefaultConfig()
@@ -11,7 +14,7 @@ func TestFacadeRun(t *testing.T) {
 	if !ok {
 		t.Fatal("workload missing")
 	}
-	r, err := Run(cfg, w)
+	r, err := Run(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func TestFacadeMultiCore(t *testing.T) {
 	mc.PerCore.WarmupInstrs = 2_000
 	mc.PerCore.SimInstrs = 5_000
 	mix := Mixes(1, 2)[0]
-	runs, err := RunMix(mc, mix)
+	runs, err := RunMix(context.Background(), mc, mix)
 	if err != nil {
 		t.Fatal(err)
 	}
