@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check cover bench bench-json campaign golden diff fuzz
+.PHONY: build test race vet check cover bench bench-json campaign golden diff fuzz soak daemon-e2e
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,20 @@ campaign: build
 		&& echo 'campaign: warm-cache re-run performed zero simulations' \
 		|| { echo 'campaign: FAIL — warm-cache re-run still simulated'; rm -rf $(CAMPAIGN_CACHE); exit 1; }
 	@rm -rf $(CAMPAIGN_CACHE)
+
+# soak runs the daemon chaos harness — fault injection, cache corruption,
+# hostile clients, graceful and hard restarts — for SOAK under the race
+# detector, asserting no lost/duplicated jobs, byte-identical results
+# versus a fault-free baseline, and no leaked goroutines.
+SOAK ?= 30s
+soak:
+	PGCD_SOAK=$(SOAK) $(GO) test -race -run TestChaosSoak -v ./internal/daemon
+
+# daemon-e2e drives cmd/pgcd end to end through its HTTP API: submit,
+# warm-cache re-submit (zero simulations), SIGTERM mid-campaign (graceful
+# drain, exit 0), restart, and resume to completion.
+daemon-e2e:
+	bash scripts/pgcd_e2e.sh
 
 # golden re-records the golden metric snapshots after a deliberate
 # behavioural change; review the diff before committing.

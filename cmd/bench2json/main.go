@@ -7,6 +7,11 @@
 //
 //	go test -run '^$' -bench 'BenchmarkRun' -benchmem -benchtime 3x . \
 //	    | go run ./cmd/bench2json -out BENCH_5.json -label after
+//
+// The converter is strict: malformed benchmark lines, truncated input (no
+// PASS/ok terminator — a pipeline that died mid-run), and FAIL output all
+// exit non-zero with a clear error instead of silently writing a partial
+// ledger.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -58,30 +64,13 @@ func main() {
 		}
 	}
 
-	var benches []Benchmark
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		for _, env := range []string{"goos", "goarch", "pkg", "cpu"} {
-			if v, ok := strings.CutPrefix(line, env+":"); ok {
-				led.Env[env] = strings.TrimSpace(v)
-			}
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		if b, ok := parseLine(line); ok {
-			benches = append(benches, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	benches, env, err := parseBench(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
 		os.Exit(1)
 	}
-	if len(benches) == 0 {
-		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
-		os.Exit(1)
+	for k, v := range env {
+		led.Env[k] = v
 	}
 	led.Sections[*label] = benches
 
@@ -102,25 +91,91 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmark(s) to %s [%s]\n", len(benches), *out, *label)
 }
 
+// parseBench consumes a full `go test -bench` text stream and returns its
+// benchmark lines and environment header. It fails loudly on anything that
+// would make the ledger lie:
+//
+//   - a malformed Benchmark result line (a corrupted pipe, a half-written
+//     log) is an error naming the line, not a silent skip;
+//   - input without the PASS / "ok <pkg>" terminator is truncated — the
+//     benchmark run died before finishing — and is an error;
+//   - a FAIL terminator means the run itself failed and is an error even
+//     when result lines parsed.
+func parseBench(r io.Reader) ([]Benchmark, map[string]string, error) {
+	var benches []Benchmark
+	env := map[string]string{}
+	terminated, failed := false, false
+	lineNo := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+":"); ok {
+				env[k] = strings.TrimSpace(v)
+			}
+		}
+		switch {
+		case line == "PASS" || strings.HasPrefix(line, "ok "):
+			terminated = true
+			continue
+		case line == "FAIL" || strings.HasPrefix(line, "FAIL\t") || strings.HasPrefix(line, "FAIL "):
+			terminated, failed = true, true
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if len(strings.Fields(line)) == 1 {
+			// A bare "BenchmarkFoo" line precedes log output from the
+			// benchmark body; the result line follows separately.
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: malformed benchmark line %q: %v", lineNo, line, err)
+		}
+		benches = append(benches, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("reading input: %v", err)
+	}
+	if failed {
+		return nil, nil, fmt.Errorf("benchmark run reported FAIL; refusing to record its results")
+	}
+	if !terminated {
+		return nil, nil, fmt.Errorf("input is truncated: no PASS/FAIL/ok terminator (did the benchmark run die?)")
+	}
+	if len(benches) == 0 {
+		return nil, nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	return benches, env, nil
+}
+
 // parseLine parses one result line:
 //
 //	BenchmarkRunWorkload-64   22   50929361 ns/op   1963519 instrs/s   5578269 B/op   66154 allocs/op
-func parseLine(line string) (Benchmark, bool) {
+func parseLine(line string) (Benchmark, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return Benchmark{}, false
+		return Benchmark{}, fmt.Errorf("want >= 4 fields (name, iters, value, unit), got %d", len(fields))
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		return Benchmark{}, fmt.Errorf("iteration count %q is not an integer", fields[1])
+	}
+	if (len(fields)-2)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("unpaired metric field %q (line cut mid-write?)", fields[len(fields)-1])
 	}
 	b := Benchmark{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			return Benchmark{}, fmt.Errorf("metric value %q is not a number", fields[i])
 		}
 		b.Metrics[fields[i+1]] = v
 	}
-	return b, len(b.Metrics) > 0
+	return b, nil
 }

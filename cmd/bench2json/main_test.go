@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.0GHz
+BenchmarkRunWorkload-64   	      22	  50929361 ns/op	   1963519 instrs/s	 5578269 B/op	   66154 allocs/op
+BenchmarkKeyOf-64         	  100000	     10233 ns/op	    2048 B/op	      31 allocs/op
+PASS
+ok  	repro	3.211s
+`
+
+func TestParseBenchGoodOutput(t *testing.T) {
+	benches, env, err := parseBench(strings.NewReader(goodOutput))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkRunWorkload-64" || b.Iters != 22 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 50929361 || b.Metrics["instrs/s"] != 1963519 {
+		t.Fatalf("metrics = %+v", b.Metrics)
+	}
+	if env["goos"] != "linux" || env["pkg"] != "repro" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestParseBenchSkipsBareNameLines(t *testing.T) {
+	in := `BenchmarkVerbose
+    some_test.go:10: benchmark body log line
+BenchmarkVerbose-8   	     100	     12345 ns/op
+PASS
+`
+	benches, _, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(benches) != 1 || benches[0].Name != "BenchmarkVerbose-8" {
+		t.Fatalf("benches = %+v, want just the result line", benches)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		in   string
+		want string // substring of the expected error
+	}{
+		"truncated no terminator": {
+			in:   "BenchmarkX-8   100   123 ns/op\n",
+			want: "truncated",
+		},
+		"empty input": {
+			in:   "",
+			want: "truncated",
+		},
+		"terminated but no benchmarks": {
+			in:   "PASS\nok  \trepro\t0.1s\n",
+			want: "no benchmark result lines",
+		},
+		"failed run": {
+			in:   "BenchmarkX-8   100   123 ns/op\nFAIL\nFAIL\trepro\t0.1s\n",
+			want: "FAIL",
+		},
+		"garbage iteration count": {
+			in:   "BenchmarkX-8   banana   123 ns/op\nPASS\n",
+			want: "not an integer",
+		},
+		"garbage metric value": {
+			in:   "BenchmarkX-8   100   banana ns/op\nPASS\n",
+			want: "not a number",
+		},
+		"line cut mid-metric": {
+			in:   "BenchmarkX-8   100   123 ns/op   4567\nPASS\n",
+			want: "unpaired",
+		},
+		"too few fields": {
+			in:   "BenchmarkX-8   100\nPASS\n",
+			want: ">= 4 fields",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := parseBench(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("parseBench accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

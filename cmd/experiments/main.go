@@ -79,6 +79,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hardExitOnSecondSignal()
 
 	totals := &campaign.Totals{}
 	o := experiments.Options{
@@ -314,4 +315,21 @@ func main() {
 	// Campaign accounting: `make campaign` asserts a warm-cache re-run
 	// prints simulated=0 here.
 	fmt.Printf("campaign: %s\n", totals)
+}
+
+// hardExitOnSecondSignal makes a second SIGINT/SIGTERM exit the process
+// immediately with status 130. The first signal cancels the campaign's
+// context for a graceful teardown (partial results, flushed manifests), but
+// signal.NotifyContext swallows every signal after that — without this
+// escape hatch a teardown that hangs cannot be interrupted from the
+// terminal at all.
+func hardExitOnSecondSignal() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs // the graceful one, also delivered to NotifyContext
+		<-sigs // the operator has lost patience
+		fmt.Fprintln(os.Stderr, "experiments: second signal: exiting immediately")
+		os.Exit(130)
+	}()
 }

@@ -55,6 +55,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hardExitOnSecondSignal()
 
 	if *list {
 		for _, w := range trace.All() {
@@ -259,4 +260,21 @@ func report(r *stats.Run) {
 		r.L1D.PGCUseful, useful, r.L1D.PGCUseless, useless, r.L1D.PGCAccuracy()*100)
 	fmt.Printf("page walks          %d demand, %d speculative (%d memory reads, %d PSC hits)\n",
 		r.PTW.Walks, r.PTW.SpeculativeWalks, r.PTW.WalkMemAccesses, r.PTW.PSCHits)
+}
+
+// hardExitOnSecondSignal makes a second SIGINT/SIGTERM exit the process
+// immediately with status 130. The first signal cancels the run's context
+// for a graceful teardown, but signal.NotifyContext swallows every signal
+// after that — without this escape hatch a teardown that hangs (a stuck
+// filesystem flush, a wedged worker) cannot be interrupted from the
+// terminal at all.
+func hardExitOnSecondSignal() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs // the graceful one, also delivered to NotifyContext
+		<-sigs // the operator has lost patience
+		fmt.Fprintln(os.Stderr, "pgcsim: second signal: exiting immediately")
+		os.Exit(130)
+	}()
 }

@@ -38,6 +38,21 @@ type Exec struct {
 	// present (with a matching content key) are resumed without
 	// simulation.
 	ResumeManifest string
+	// OnProgress, when non-nil, is invoked after every retired cell
+	// (completed or ledgered) with a consistent snapshot of the campaign's
+	// progress counters. It is called outside the engine's locks, at most
+	// once per cell, from whichever worker retired the cell — callbacks
+	// must be safe for concurrent use and should return quickly (a slow
+	// callback stalls that worker, nothing else).
+	OnProgress func(Progress)
+	// CellFault, when non-nil, is consulted before every simulation
+	// attempt (including retries) and its non-nil error is treated exactly
+	// like a simulation failure: retried when sim.Retryable, ledgered
+	// otherwise. It models execution-layer faults — flaky machines,
+	// injected chaos — without touching the cell's content key, so faulted
+	// cells stay cacheable and their eventual results identical to a
+	// fault-free run.
+	CellFault func(ctx context.Context, cellID string, attempt int) error
 }
 
 func (e Exec) withDefaults() Exec {
@@ -68,6 +83,30 @@ func WithRetries(n int, backoff time.Duration) Option {
 
 // WithRunTimeout bounds each cell's wall-clock time.
 func WithRunTimeout(d time.Duration) Option { return func(e *Exec) { e.RunTimeout = d } }
+
+// WithProgress installs a per-cell progress callback (see Exec.OnProgress).
+func WithProgress(fn func(Progress)) Option { return func(e *Exec) { e.OnProgress = fn } }
+
+// WithCellFault installs an execution-layer fault hook consulted before
+// every simulation attempt (see Exec.CellFault).
+func WithCellFault(fn func(ctx context.Context, cellID string, attempt int) error) Option {
+	return func(e *Exec) { e.CellFault = fn }
+}
+
+// Progress is one OnProgress snapshot: how much of the campaign has
+// retired, partitioned by where each cell's result came from. Done counts
+// both completions and ledgered failures, so Done == Total exactly when the
+// campaign has drained.
+type Progress struct {
+	Done      int `json:"done"`
+	Total     int `json:"total"`
+	Simulated int `json:"simulated"`
+	CacheHits int `json:"cache_hits"`
+	Resumed   int `json:"resumed"`
+	Failed    int `json:"failed"`
+	// LastCell is the cell whose retirement triggered this snapshot.
+	LastCell string `json:"last_cell,omitempty"`
+}
 
 // WithExec replaces the whole execution policy at once — the bridge for
 // callers (the experiments harness) that already carry an Exec.
@@ -416,12 +455,14 @@ func (e *engine) exec(ci int) {
 		// it, and a drifted config simply computes a key that is absent.
 		if ent, ok := e.resumed[string(key)]; ok {
 			e.record(c, ent.Runs, &e.rep.Resumed)
+			e.notify(c.ID)
 			return
 		}
 		if e.store != nil {
 			if runs, ok := e.store.Get(key); ok {
 				e.record(c, runs, &e.rep.CacheHits)
 				e.checkpoint(c.ID, key, runs)
+				e.notify(c.ID)
 				return
 			}
 		}
@@ -434,6 +475,7 @@ func (e *engine) exec(ci int) {
 		e.mu.Lock()
 		e.rep.Failures = append(e.rep.Failures, Failure{ID: c.ID, Attempts: attempts, Err: err})
 		e.mu.Unlock()
+		e.notify(c.ID)
 		return
 	}
 	e.record(c, runs, &e.rep.Simulated)
@@ -444,6 +486,27 @@ func (e *engine) exec(ci int) {
 		}
 		e.checkpoint(c.ID, key, runs)
 	}
+	e.notify(c.ID)
+}
+
+// notify delivers one Progress snapshot for a just-retired cell. The
+// snapshot is assembled under the report lock, delivered outside it.
+func (e *engine) notify(cellID string) {
+	if e.ex.OnProgress == nil {
+		return
+	}
+	e.mu.Lock()
+	p := Progress{
+		Total:     e.rep.Total,
+		Simulated: e.rep.Simulated,
+		CacheHits: e.rep.CacheHits,
+		Resumed:   e.rep.Resumed,
+		Failed:    len(e.rep.Failures),
+		LastCell:  cellID,
+	}
+	e.mu.Unlock()
+	p.Done = p.Simulated + p.CacheHits + p.Resumed + p.Failed
+	e.ex.OnProgress(p)
 }
 
 func (e *engine) record(c *Cell, runs []*stats.Run, counter *int) {
@@ -467,10 +530,18 @@ func (e *engine) checkpoint(id string, key Key, runs []*stats.Run) {
 }
 
 // simulate runs one cell with retry-on-retryable and linear backoff — the
-// same fault-isolation contract as the experiments matrix runner.
+// same fault-isolation contract as the experiments matrix runner. The
+// Exec.CellFault hook runs before each attempt; its error counts as that
+// attempt's outcome without the simulation ever starting.
 func (e *engine) simulate(c *Cell) (runs []*stats.Run, attempts int, err error) {
 	for attempts = 1; ; attempts++ {
-		runs, err = e.simOnce(c)
+		runs, err = nil, nil
+		if e.ex.CellFault != nil {
+			err = e.ex.CellFault(e.ctx, c.ID, attempts)
+		}
+		if err == nil {
+			runs, err = e.simOnce(c)
+		}
 		if err == nil || !sim.Retryable(err) || attempts > e.ex.Retries || e.ctx.Err() != nil {
 			return runs, attempts, err
 		}

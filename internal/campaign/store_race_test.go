@@ -1,0 +1,184 @@
+package campaign
+
+// Concurrent multi-process access to the content-addressed cache: several
+// Store instances over the same directory (one per simulated process, the
+// way cmd/pgcsim, cmd/experiments and cmd/pgcd share one cache) racing
+// writers and readers on the same keys. The store's contract under the
+// race: a reader observes either a miss or a complete, checksum-valid
+// entry — never a torn one — and corruption degrades to re-simulate, never
+// to a crash.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func raceRuns(tag string, n uint64) []*stats.Run {
+	r := &stats.Run{Workload: tag, Suite: "race"}
+	r.Core.Instructions = n
+	r.Core.Cycles = 2 * n
+	return []*stats.Run{r}
+}
+
+func TestStoreConcurrentWritersSameKey(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("deadbeef00112233deadbeef00112233deadbeef00112233deadbeef00112233")
+
+	// Two "processes" write the same key simultaneously, many times. With
+	// a content-addressed store both bodies are equivalent by construction;
+	// here they are byte-identical, so any winner is a valid entry.
+	const procs, rounds = 4, 25
+	stores := make([]*Store, procs)
+	for i := range stores {
+		s, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("OpenStore %d: %v", i, err)
+		}
+		stores[i] = s
+	}
+	var wg sync.WaitGroup
+	for p, s := range stores {
+		wg.Add(1)
+		go func(p int, s *Store) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := s.Put(key, raceRuns("same", 42)); err != nil {
+					t.Errorf("proc %d round %d: Put: %v", p, r, err)
+					return
+				}
+				// Every observation mid-race must be a valid entry: the
+				// atomic tmp+rename publish means no reader can see a
+				// partial write.
+				runs, ok := s.Get(key)
+				if !ok {
+					t.Errorf("proc %d round %d: entry missing after Put", p, r)
+					return
+				}
+				if len(runs) != 1 || runs[0].Core.Instructions != 42 {
+					t.Errorf("proc %d round %d: torn entry: %+v", p, r, runs)
+					return
+				}
+			}
+		}(p, s)
+	}
+	wg.Wait()
+}
+
+func TestStoreConcurrentDistinctKeys(t *testing.T) {
+	dir := t.TempDir()
+	const procs, keys = 4, 16
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Errorf("proc %d: OpenStore: %v", p, err)
+				return
+			}
+			for k := 0; k < keys; k++ {
+				key := Key(fmt.Sprintf("%064x", k))
+				if err := s.Put(key, raceRuns("distinct", uint64(k))); err != nil {
+					t.Errorf("proc %d key %d: Put: %v", p, k, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// After the dust settles a fresh instance sees every key, each valid.
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	for k := 0; k < keys; k++ {
+		key := Key(fmt.Sprintf("%064x", k))
+		runs, ok := s.Get(key)
+		if !ok {
+			t.Fatalf("key %d missing after concurrent writes", k)
+		}
+		if runs[0].Core.Instructions != uint64(k) {
+			t.Fatalf("key %d holds instructions=%d, want %d", k, runs[0].Core.Instructions, k)
+		}
+	}
+}
+
+func TestStoreCorruptionUnderConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("c0ffee00c0ffee00c0ffee00c0ffee00c0ffee00c0ffee00c0ffee00c0ffee00")
+	writer, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := writer.Put(key, raceRuns("victim", 7)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// One goroutine repeatedly corrupts the entry's file while others read
+	// and rewrite it. Readers must only ever see miss-or-valid; nobody may
+	// panic or error.
+	var entry string
+	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			entry = path
+		}
+		return nil
+	})
+	if entry == "" {
+		t.Fatal("no cache entry file found")
+	}
+
+	stop := make(chan struct{})
+	var corruptor sync.WaitGroup
+	corruptor.Add(1)
+	go func() {
+		defer corruptor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = os.WriteFile(entry, []byte("garbage"), 0o644)
+		}
+	}()
+	var readers sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		readers.Add(1)
+		go func(p int) {
+			defer readers.Done()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Errorf("reader %d: OpenStore: %v", p, err)
+				return
+			}
+			for i := 0; i < 200; i++ {
+				if runs, ok := s.Get(key); ok {
+					// A hit must be the valid entry, never the garbage.
+					if len(runs) != 1 || runs[0].Core.Instructions != 7 {
+						t.Errorf("reader %d: corrupt entry served as a hit: %+v", p, runs)
+						return
+					}
+				}
+				if i%10 == 0 {
+					// The re-simulate path: a writer replaces the corrupt
+					// entry, exactly like the engine does after a miss.
+					if err := s.Put(key, raceRuns("victim", 7)); err != nil {
+						t.Errorf("reader %d: rewrite: %v", p, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	readers.Wait()
+	close(stop)
+	corruptor.Wait()
+}

@@ -1,0 +1,81 @@
+package daemon
+
+import "repro/internal/metrics"
+
+// daemonMetrics is the daemon's control-plane instrumentation, registered
+// in one internal/metrics registry and served (snapshot or stream) by the
+// /metricz endpoint. All counters are SyncCounters — unlike a simulated
+// system, the daemon mutates its registry from many goroutines. Gauges are
+// function-backed reads of live server state, sampled at snapshot time.
+type daemonMetrics struct {
+	reg *metrics.Registry
+
+	submitted   *metrics.SyncCounter
+	completed   *metrics.SyncCounter
+	failed      *metrics.SyncCounter
+	canceled    *metrics.SyncCounter
+	interrupted *metrics.SyncCounter
+	recovered   *metrics.SyncCounter
+	warmServed  *metrics.SyncCounter
+
+	rejRate     *metrics.SyncCounter
+	rejQuota    *metrics.SyncCounter
+	rejQueue    *metrics.SyncCounter
+	rejDraining *metrics.SyncCounter
+	rejInvalid  *metrics.SyncCounter
+
+	httpRequests *metrics.SyncCounter
+
+	cellsSimulated *metrics.SyncCounter
+	cellsCached    *metrics.SyncCounter
+	cellsResumed   *metrics.SyncCounter
+	cellsFailed    *metrics.SyncCounter
+}
+
+// newDaemonMetrics registers every daemon metric. Registration happens once
+// at server construction, before any concurrent access — the registry map
+// is read-only from then on, which is the registry's concurrency contract.
+func newDaemonMetrics(s *Server) *daemonMetrics {
+	reg := metrics.NewRegistry()
+	m := &daemonMetrics{
+		reg:         reg,
+		submitted:   reg.SyncCounter("daemon.jobs.submitted"),
+		completed:   reg.SyncCounter("daemon.jobs.completed"),
+		failed:      reg.SyncCounter("daemon.jobs.failed"),
+		canceled:    reg.SyncCounter("daemon.jobs.canceled"),
+		interrupted: reg.SyncCounter("daemon.jobs.interrupted"),
+		recovered:   reg.SyncCounter("daemon.jobs.recovered"),
+		warmServed:  reg.SyncCounter("daemon.jobs.warm_served"),
+
+		rejRate:     reg.SyncCounter("daemon.rejected.rate_limited"),
+		rejQuota:    reg.SyncCounter("daemon.rejected.quota"),
+		rejQueue:    reg.SyncCounter("daemon.rejected.queue_full"),
+		rejDraining: reg.SyncCounter("daemon.rejected.draining"),
+		rejInvalid:  reg.SyncCounter("daemon.rejected.invalid"),
+
+		httpRequests: reg.SyncCounter("daemon.http.requests"),
+
+		cellsSimulated: reg.SyncCounter("daemon.cells.simulated"),
+		cellsCached:    reg.SyncCounter("daemon.cells.cache_hits"),
+		cellsResumed:   reg.SyncCounter("daemon.cells.resumed"),
+		cellsFailed:    reg.SyncCounter("daemon.cells.failed"),
+	}
+	reg.GaugeFunc("daemon.queue.depth", func() uint64 { return uint64(s.queueDepth()) })
+	reg.GaugeFunc("daemon.jobs.running", func() uint64 { return uint64(s.runningCount()) })
+	reg.GaugeFunc("daemon.draining", func() uint64 {
+		if s.isDraining() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("daemon.ratelimit.clients", func() uint64 { return uint64(s.limiter.clients()) })
+	return m
+}
+
+// addReport folds one campaign report's cell accounting into the counters.
+func (m *daemonMetrics) addReport(simulated, cached, resumed, failed int) {
+	m.cellsSimulated.Add(uint64(simulated))
+	m.cellsCached.Add(uint64(cached))
+	m.cellsResumed.Add(uint64(resumed))
+	m.cellsFailed.Add(uint64(failed))
+}

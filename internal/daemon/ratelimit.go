@@ -1,0 +1,104 @@
+package daemon
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter. Each client refills at
+// rate tokens/second up to burst; a request costs one token. Decisions are
+// O(1) and the map of buckets is bounded: when it outgrows maxClients, one
+// sweep drops every bucket within one token of full (forgetting one grants
+// its client at most a single extra token, so eviction is near-free), and
+// if nothing is evictable the newcomer is refused instead of tracked.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// maxClients bounds the bucket map; a hostile client spraying fresh
+// identities costs one sweep per maxClients admissions, not memory.
+const maxClients = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow reports whether one request from client may proceed now; when it
+// may not, retryAfter is how long until a token will be available.
+func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			l.sweep(now)
+		}
+		if len(l.buckets) >= maxClients {
+			// Sweep found nothing evictable: every tracked client is
+			// actively spending tokens. Refuse the newcomer rather than
+			// grow without bound.
+			return false, time.Second
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// sweep drops buckets that are (after refill) within one token of full:
+// forgetting such a bucket grants its client at most one extra token, so
+// eviction is near-free — and an identity-spray attack's fresh buckets all
+// qualify (burst-1 tokens after their single request), which is what keeps
+// the map bounded. Called with l.mu held.
+func (l *rateLimiter) sweep(now time.Time) {
+	for c, b := range l.buckets {
+		tokens := b.tokens
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens = math.Min(l.burst, tokens+dt*l.rate)
+		}
+		if tokens >= l.burst-1 {
+			delete(l.buckets, c)
+		}
+	}
+}
+
+// clients returns the number of tracked buckets (a gauge).
+func (l *rateLimiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ExecConfig selects execution-layer faults: failures and stalls injected
+// around simulation attempts (a flaky worker machine, a hung filesystem)
+// rather than inside the simulated hardware. Because these faults never
+// touch a cell's configuration, the cell's content key — and therefore its
+// cached, byte-identical result — is unaffected; only the path to it gets
+// rough. The zero value injects nothing.
+type ExecConfig struct {
+	// FailEveryN, when non-zero, makes every Nth attempt (counted across
+	// the injector) fail with a retryable TransientError before any
+	// simulation work happens.
+	FailEveryN uint64
+	// StallEveryN, when non-zero, delays every Nth attempt by StallFor
+	// before it proceeds (aborted early if ctx is cancelled).
+	StallEveryN uint64
+	// StallFor is the stall duration (default 50ms when StallEveryN is
+	// set and StallFor is zero).
+	StallFor time.Duration
+}
+
+// ExecInjector injects ExecConfig faults through the campaign engine's
+// CellFault hook. Safe for concurrent use by many workers and jobs sharing
+// one injector; counters are lifetime-monotonic so "every Nth attempt" is
+// well defined across concurrent campaigns.
+type ExecInjector struct {
+	cfg      ExecConfig
+	attempts atomic.Uint64
+	failed   atomic.Uint64
+	stalled  atomic.Uint64
+}
+
+// NewExec returns an execution-layer injector for cfg.
+func NewExec(cfg ExecConfig) *ExecInjector {
+	if cfg.StallEveryN > 0 && cfg.StallFor <= 0 {
+		cfg.StallFor = 50 * time.Millisecond
+	}
+	return &ExecInjector{cfg: cfg}
+}
+
+// CellFault implements the campaign engine's Exec.CellFault contract: it is
+// called before every simulation attempt and may stall, fail (retryably),
+// or pass. Nil-safe: a nil injector passes everything.
+func (i *ExecInjector) CellFault(ctx context.Context, cellID string, attempt int) error {
+	if i == nil {
+		return nil
+	}
+	n := i.attempts.Add(1)
+	if s := i.cfg.StallEveryN; s > 0 && n%s == 0 {
+		i.stalled.Add(1)
+		t := time.NewTimer(i.cfg.StallFor)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	if f := i.cfg.FailEveryN; f > 0 && n%f == 0 {
+		i.failed.Add(1)
+		return &TransientError{Err: fmt.Errorf(
+			"faultinject: injected exec failure (cell %s, attempt %d, global attempt %d)",
+			cellID, attempt, n)}
+	}
+	return nil
+}
+
+// Attempts returns how many attempts the injector has inspected.
+func (i *ExecInjector) Attempts() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.attempts.Load()
+}
+
+// Failed returns how many attempts were failed.
+func (i *ExecInjector) Failed() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.failed.Load()
+}
+
+// Stalled returns how many attempts were stalled.
+func (i *ExecInjector) Stalled() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.stalled.Load()
+}

@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestExecInjectorZeroValuePassesEverything(t *testing.T) {
+	inj := NewExec(ExecConfig{})
+	for i := 0; i < 10; i++ {
+		if err := inj.CellFault(context.Background(), "c", 1); err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if inj.Failed() != 0 || inj.Stalled() != 0 {
+		t.Fatalf("zero config injected faults: %d failed, %d stalled", inj.Failed(), inj.Stalled())
+	}
+	if inj.Attempts() != 10 {
+		t.Fatalf("Attempts = %d, want 10", inj.Attempts())
+	}
+}
+
+func TestExecInjectorNilSafe(t *testing.T) {
+	var inj *ExecInjector
+	if err := inj.CellFault(context.Background(), "c", 1); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if inj.Attempts() != 0 || inj.Failed() != 0 || inj.Stalled() != 0 {
+		t.Fatal("nil injector reported non-zero counters")
+	}
+}
+
+func TestExecInjectorFailsEveryNthRetryably(t *testing.T) {
+	inj := NewExec(ExecConfig{FailEveryN: 3})
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := inj.CellFault(context.Background(), "c", 1); err != nil {
+			failures++
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("injected failure is not a TransientError: %v", err)
+			}
+			if !te.Retryable() {
+				t.Fatalf("injected failure is not retryable: %v", err)
+			}
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("got %d failures over 9 attempts with FailEveryN=3, want 3", failures)
+	}
+	if inj.Failed() != 3 {
+		t.Fatalf("Failed = %d, want 3", inj.Failed())
+	}
+}
+
+func TestExecInjectorStallRespectsCancellation(t *testing.T) {
+	inj := NewExec(ExecConfig{StallEveryN: 1, StallFor: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := inj.CellFault(ctx, "c", 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled fault returned %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("stall did not abort on cancellation")
+	}
+	if inj.Stalled() != 1 {
+		t.Fatalf("Stalled = %d, want 1", inj.Stalled())
+	}
+}
+
+func TestExecInjectorDefaultStallDuration(t *testing.T) {
+	inj := NewExec(ExecConfig{StallEveryN: 1})
+	if inj.cfg.StallFor != 50*time.Millisecond {
+		t.Fatalf("default StallFor = %s, want 50ms", inj.cfg.StallFor)
+	}
+}

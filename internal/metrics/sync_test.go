@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSyncCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.SyncCounter("daemon.test.hits")
+
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+	}
+
+	// The counter surfaces through the registry snapshot like any metric.
+	snap := reg.Snapshot()
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "daemon.test.hits" {
+			found = true
+			if m.Value != goroutines*perG {
+				t.Fatalf("snapshot value = %d, want %d", m.Value, goroutines*perG)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("snapshot does not include the sync counter")
+	}
+
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+}
+
+func TestSyncCounterNilSafe(t *testing.T) {
+	var c *SyncCounter
+	c.Inc()
+	c.Add(5)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("nil counter returned non-zero value")
+	}
+}
