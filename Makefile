@@ -24,11 +24,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # bench-json measures the canonical BenchmarkRun* throughput/allocation
-# benchmarks and records them in BENCH_5.json's "after" section (the
-# pre-optimization "before" section is preserved across regenerations).
+# benchmarks, records them in BENCH_6.json's "after" section (the committed
+# "baseline" section is preserved across regenerations), and enforces the
+# acceptance gates: sampled mode >= 10x full-detail instrs/s, and no
+# benchmark regressing >10% against the baseline when measured on the
+# baseline machine. (BENCH_5.json is the frozen PR-5 inner-loop ledger.)
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 3x . \
-		| $(GO) run ./cmd/bench2json -out BENCH_5.json -label after
+	$(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/bench2json -out BENCH_6.json -label after
+	$(GO) run ./cmd/benchgate -ledger BENCH_6.json
 
 # campaign runs a tiny cached campaign twice and asserts the warm-cache
 # re-run performs zero simulations — the content-addressed result cache's
@@ -58,10 +62,12 @@ soak:
 daemon-e2e:
 	bash scripts/pgcd_e2e.sh
 
-# golden re-records the golden metric snapshots after a deliberate
-# behavioural change; review the diff before committing.
+# golden re-records the golden fingerprints after a deliberate behavioural
+# change — full-detail snapshots, sampled-mode snapshots, and the
+# sampled-vs-full error table (whose accuracy gates still apply while
+# recording); review the diff before committing.
 golden:
-	$(GO) test ./internal/sim -run TestGoldenSnapshots -update
+	$(GO) test ./internal/sim -run TestGolden -update
 
 # diff runs the differential sim-vs-oracle suite: clean runs across every
 # policy and family, both injected acceptance bugs (MSHR leak, stale PTE)
@@ -76,6 +82,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSimVsOracle -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzTraceStream -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/campaign -run '^$$' -fuzz FuzzSampledVsFull -fuzztime $(FUZZTIME)
 
 # check is the CI gate: vet, build, and the full suite under the race
 # detector (the resilience tests exercise the worker pool concurrently).

@@ -424,6 +424,33 @@ func BenchmarkRunWorkload(b *testing.B) {
 	b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
 
+// BenchmarkRunWorkloadSampled is BenchmarkRunWorkload's fast-mode twin and
+// the benchmark behind BENCH_6.json's >=10x acceptance gate: the same
+// workload and policy under the default auto-period sampling schedule, at a
+// budget (10M instructions) where the fixed interval count thins the
+// detailed fraction to ~1%. instrs/s counts budget instructions covered per
+// wall second, the same accounting as the full benchmark, so the ratio of
+// the two metrics is the end-to-end sampling speedup.
+func BenchmarkRunWorkloadSampled(b *testing.B) {
+	w, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		b.Fatal("workload missing")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.PolicyDripper
+	cfg.WarmupInstrs = 0
+	cfg.SimInstrs = 10_000_000
+	cfg.Sample = sim.SampleConfig{Enabled: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.SimInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
 // BenchmarkRunCampaign measures the campaign engine around the same cells:
 // "cold" pays simulation plus cache writes, "warm" is pure cache-hit reads
 // — the factor between them is what a warm re-run of the evaluation saves.

@@ -36,11 +36,15 @@ type Benchmark struct {
 
 // Ledger is the output document: label → benchmark list, plus the
 // environment lines (goos/goarch/pkg/cpu) of the latest run. Notes is
-// free-form provenance carried through merges untouched.
+// free-form provenance carried through merges untouched. BaselineEnv pins
+// the environment the "baseline" section was measured on, so cmd/benchgate
+// can tell whether absolute throughput comparisons against it are
+// meaningful (same CPU) or must be skipped (cross-machine).
 type Ledger struct {
-	Notes    string                 `json:"notes,omitempty"`
-	Env      map[string]string      `json:"env,omitempty"`
-	Sections map[string][]Benchmark `json:"sections"`
+	Notes       string                 `json:"notes,omitempty"`
+	Env         map[string]string      `json:"env,omitempty"`
+	BaselineEnv map[string]string      `json:"baseline_env,omitempty"`
+	Sections    map[string][]Benchmark `json:"sections"`
 }
 
 func main() {
@@ -73,6 +77,12 @@ func main() {
 		led.Env[k] = v
 	}
 	led.Sections[*label] = benches
+	if *label == "baseline" {
+		led.BaselineEnv = map[string]string{}
+		for k, v := range env {
+			led.BaselineEnv[k] = v
+		}
+	}
 
 	enc, err := json.MarshalIndent(led, "", "  ")
 	if err != nil {

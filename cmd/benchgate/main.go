@@ -1,0 +1,147 @@
+// Command benchgate enforces the performance acceptance gates over a
+// benchmark ledger produced by cmd/bench2json (BENCH_6.json):
+//
+//  1. Sampling speedup: in the measured section, BenchmarkRunWorkloadSampled
+//     must deliver at least -min-speedup times the instrs/s of
+//     BenchmarkRunWorkload. The ratio is taken within one process on one
+//     machine, so it is meaningful on any host — this gate always applies.
+//  2. Throughput regression: every benchmark present in both the measured
+//     and the baseline section must retain at least (1 - -max-regression)
+//     of its baseline instrs/s. Absolute throughput is only comparable on
+//     the machine the baseline was recorded on, so this gate applies when
+//     the ledger's environment matches its baseline_env CPU and is skipped
+//     (loudly) otherwise.
+//
+// Exit status is non-zero on any gate breach, so `make bench-json` and the
+// CI bench-ledger job fail instead of archiving a regressed ledger.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Benchmark and Ledger mirror cmd/bench2json's document format.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type Ledger struct {
+	Notes       string                 `json:"notes,omitempty"`
+	Env         map[string]string      `json:"env,omitempty"`
+	BaselineEnv map[string]string      `json:"baseline_env,omitempty"`
+	Sections    map[string][]Benchmark `json:"sections"`
+}
+
+// gates parameterises one benchgate run.
+type gates struct {
+	section, baseline string
+	fullName, sampled string
+	minSpeedup        float64
+	maxRegression     float64
+}
+
+func instrsPerSec(section []Benchmark, name string) (float64, bool) {
+	for _, b := range section {
+		if b.Name == name {
+			v, ok := b.Metrics["instrs/s"]
+			return v, ok && v > 0
+		}
+	}
+	return 0, false
+}
+
+// check runs both gates over the ledger, logging to out; a non-nil error is
+// a gate breach (or an unusable ledger).
+func check(led *Ledger, g gates, out io.Writer) error {
+	measured, ok := led.Sections[g.section]
+	if !ok {
+		return fmt.Errorf("ledger has no %q section", g.section)
+	}
+	full, ok := instrsPerSec(measured, g.fullName)
+	if !ok {
+		return fmt.Errorf("%s has no instrs/s metric in %q", g.fullName, g.section)
+	}
+	sampled, ok := instrsPerSec(measured, g.sampled)
+	if !ok {
+		return fmt.Errorf("%s has no instrs/s metric in %q", g.sampled, g.section)
+	}
+	speedup := sampled / full
+	if speedup < g.minSpeedup {
+		return fmt.Errorf("sampling speedup %.2fx below the %.1fx gate (full %.0f instrs/s, sampled %.0f instrs/s)",
+			speedup, g.minSpeedup, full, sampled)
+	}
+	fmt.Fprintf(out, "benchgate: sampling speedup %.2fx (gate %.1fx): full %.0f instrs/s, sampled %.0f instrs/s\n",
+		speedup, g.minSpeedup, full, sampled)
+
+	base, ok := led.Sections[g.baseline]
+	if !ok {
+		fmt.Fprintf(out, "benchgate: no %q section; regression gate skipped\n", g.baseline)
+		return nil
+	}
+	if bcpu, cpu := led.BaselineEnv["cpu"], led.Env["cpu"]; bcpu != "" && bcpu != cpu {
+		fmt.Fprintf(out, "benchgate: baseline measured on %q, this run on %q; absolute regression gate skipped (speedup ratio gate still enforced above)\n",
+			bcpu, cpu)
+		return nil
+	}
+	checked := 0
+	for _, bb := range base {
+		want, ok := bb.Metrics["instrs/s"]
+		if !ok || want <= 0 {
+			continue
+		}
+		got, ok := instrsPerSec(measured, bb.Name)
+		if !ok {
+			return fmt.Errorf("%s present in %q but missing an instrs/s measurement in %q", bb.Name, g.baseline, g.section)
+		}
+		floor := want * (1 - g.maxRegression)
+		if got < floor {
+			return fmt.Errorf("%s regressed: %.0f instrs/s vs baseline %.0f (floor %.0f, max regression %.0f%%)",
+				bb.Name, got, want, floor, g.maxRegression*100)
+		}
+		fmt.Fprintf(out, "benchgate: %s: %.0f instrs/s vs baseline %.0f (floor %.0f) ok\n", bb.Name, got, want, floor)
+		checked++
+	}
+	if checked == 0 {
+		fmt.Fprintf(out, "benchgate: %q section carries no instrs/s benchmarks; regression gate vacuous\n", g.baseline)
+	}
+	return nil
+}
+
+func loadLedger(path string) (*Ledger, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading ledger: %w", err)
+	}
+	led := &Ledger{}
+	if err := json.Unmarshal(raw, led); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return led, nil
+}
+
+func main() {
+	ledgerPath := flag.String("ledger", "BENCH_6.json", "benchmark ledger to gate")
+	g := gates{}
+	flag.StringVar(&g.section, "section", "after", "measured section to check")
+	flag.StringVar(&g.baseline, "baseline", "baseline", "reference section for the regression gate")
+	flag.StringVar(&g.fullName, "full", "BenchmarkRunWorkload", "full-detail throughput benchmark")
+	flag.StringVar(&g.sampled, "sampled", "BenchmarkRunWorkloadSampled", "sampled-mode throughput benchmark")
+	flag.Float64Var(&g.minSpeedup, "min-speedup", 10, "minimum sampled/full instrs/s ratio")
+	flag.Float64Var(&g.maxRegression, "max-regression", 0.10, "maximum tolerated fractional instrs/s loss vs baseline")
+	flag.Parse()
+
+	led, err := loadLedger(*ledgerPath)
+	if err == nil {
+		err = check(led, g, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+}

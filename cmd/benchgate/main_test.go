@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, instrsPerSecond float64) Benchmark {
+	m := map[string]float64{"ns/op": 1000}
+	if instrsPerSecond > 0 {
+		m["instrs/s"] = instrsPerSecond
+	}
+	return Benchmark{Name: name, Iters: 3, Metrics: m}
+}
+
+func defaultGates() gates {
+	return gates{
+		section: "after", baseline: "baseline",
+		fullName: "BenchmarkRunWorkload", sampled: "BenchmarkRunWorkloadSampled",
+		minSpeedup: 10, maxRegression: 0.10,
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	cpu := map[string]string{"cpu": "test-cpu"}
+	cases := []struct {
+		name    string
+		led     Ledger
+		wantErr string // substring; empty means pass
+		wantLog string // substring of the success log
+	}{
+		{
+			name: "speedup-and-regression-pass",
+			led: Ledger{
+				Env: cpu, BaselineEnv: cpu,
+				Sections: map[string][]Benchmark{
+					"baseline": {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 24_000_000)},
+					"after":    {bench("BenchmarkRunWorkload", 2_100_000), bench("BenchmarkRunWorkloadSampled", 25_000_000)},
+				},
+			},
+			wantLog: "speedup 11.90x",
+		},
+		{
+			name: "speedup-below-gate",
+			led: Ledger{Sections: map[string][]Benchmark{
+				"after": {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 15_000_000)},
+			}},
+			wantErr: "below the 10.0x gate",
+		},
+		{
+			name: "regression-caught",
+			led: Ledger{
+				Env: cpu, BaselineEnv: cpu,
+				Sections: map[string][]Benchmark{
+					"baseline": {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 30_000_000)},
+					"after":    {bench("BenchmarkRunWorkload", 1_500_000), bench("BenchmarkRunWorkloadSampled", 20_000_000)},
+				},
+			},
+			wantErr: "BenchmarkRunWorkload regressed",
+		},
+		{
+			name: "cross-machine-regression-skipped",
+			led: Ledger{
+				Env: map[string]string{"cpu": "other-cpu"}, BaselineEnv: cpu,
+				Sections: map[string][]Benchmark{
+					"baseline": {bench("BenchmarkRunWorkload", 9_000_000)},
+					"after":    {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 25_000_000)},
+				},
+			},
+			wantLog: "regression gate skipped",
+		},
+		{
+			name: "no-baseline-section",
+			led: Ledger{Sections: map[string][]Benchmark{
+				"after": {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 25_000_000)},
+			}},
+			wantLog: "no \"baseline\" section",
+		},
+		{
+			name:    "missing-section",
+			led:     Ledger{Sections: map[string][]Benchmark{}},
+			wantErr: "no \"after\" section",
+		},
+		{
+			name: "missing-sampled-metric",
+			led: Ledger{Sections: map[string][]Benchmark{
+				"after": {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 0)},
+			}},
+			wantErr: "no instrs/s metric",
+		},
+		{
+			name: "baseline-bench-vanished",
+			led: Ledger{
+				Env: cpu, BaselineEnv: cpu,
+				Sections: map[string][]Benchmark{
+					"baseline": {bench("BenchmarkOld", 1_000_000)},
+					"after":    {bench("BenchmarkRunWorkload", 2_000_000), bench("BenchmarkRunWorkloadSampled", 25_000_000)},
+				},
+			},
+			wantErr: "missing an instrs/s measurement",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := check(&tc.led, defaultGates(), &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("check() = %v, want pass (log so far: %s)", err, out.String())
+				}
+				if !strings.Contains(out.String(), tc.wantLog) {
+					t.Fatalf("log %q missing %q", out.String(), tc.wantLog)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("check() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadLedger(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.json")
+	led := Ledger{Sections: map[string][]Benchmark{"after": {bench("B", 1)}}}
+	raw, err := json.Marshal(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sections["after"]) != 1 {
+		t.Fatalf("round-trip lost sections: %+v", got)
+	}
+	if _, err := loadLedger(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing ledger did not error")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLedger(path); err == nil {
+		t.Fatal("corrupt ledger did not error")
+	}
+}
+
+// TestCommittedLedgerPassesGates keeps the checked-in BENCH_6.json honest:
+// the committed numbers themselves must satisfy the gates benchgate
+// enforces on regeneration.
+func TestCommittedLedgerPassesGates(t *testing.T) {
+	led, err := loadLedger(filepath.Join("..", "..", "BENCH_6.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := check(led, defaultGates(), &out); err != nil {
+		t.Fatalf("committed BENCH_6.json fails its own gates: %v", err)
+	}
+}

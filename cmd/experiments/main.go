@@ -28,21 +28,23 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
-		warmup   = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
-		instrs   = flag.Uint64("instrs", 100_000, "measured instructions per workload")
-		maxWl    = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
-		par      = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
-		cores    = flag.Int("cores", 8, "cores for fig19")
-		mixes    = flag.Int("mixes", 20, "mixes for fig19")
-		pf       = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
-		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
-		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30m (0 = none); completed experiments are kept on expiry")
-		outDir   = flag.String("out-dir", "", "write each experiment's report to <out-dir>/<name>.{txt,json} instead of stdout")
-		pprofOut = flag.String("pprof", "", "write a CPU profile of the campaign to this file")
-		check    = flag.Bool("check", false, "run every simulation with the lockstep oracle and invariant sweeps; violations land in the failure ledger under stage \"check\"")
-		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: completed (config, workload) cells are memoized here and re-runs with unchanged configs skip simulation entirely")
-		resume   = flag.String("resume", "", "checkpoint manifest (JSONL): completed cells are appended as they finish, and an interrupted campaign re-invoked with the same manifest resumes instead of re-simulating")
+		exp       = flag.String("exp", "fig9", "experiment: fig2..fig19, table2|table3|table5, sweep-epoch|sweep-stlb|sweep-degree|sweep-vub, shapes, or all")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions per workload")
+		instrs    = flag.Uint64("instrs", 100_000, "measured instructions per workload")
+		maxWl     = flag.Int("max-workloads", 40, "cap on workloads per set (0 = full set)")
+		par       = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		cores     = flag.Int("cores", 8, "cores for fig19")
+		mixes     = flag.Int("mixes", 20, "mixes for fig19")
+		pf        = flag.String("prefetcher", "berti", "prefetcher for single-prefetcher experiments")
+		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30m (0 = none); completed experiments are kept on expiry")
+		outDir    = flag.String("out-dir", "", "write each experiment's report to <out-dir>/<name>.{txt,json} instead of stdout")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the campaign to this file")
+		check     = flag.Bool("check", false, "run every simulation with the lockstep oracle and invariant sweeps; violations land in the failure ledger under stage \"check\"")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: completed (config, workload) cells are memoized here and re-runs with unchanged configs skip simulation entirely")
+		resume    = flag.String("resume", "", "checkpoint manifest (JSONL): completed cells are appended as they finish, and an interrupted campaign re-invoked with the same manifest resumes instead of re-simulating")
+		sampled   = flag.Bool("sample", false, "interval-sampled simulation (fast mode) for every run; sampled and full results never share cache entries")
+		samplePer = flag.Uint64("sample-period", 0, "with -sample, sampling period in instructions (0 = default)")
 	)
 	flag.Parse()
 
@@ -90,7 +92,12 @@ func main() {
 			Workers: *par, CacheDir: *cacheDir, ResumeManifest: *resume,
 		},
 		Check:  sim.CheckConfig{Enabled: *check},
+		Sample: sim.SampleConfig{Enabled: *sampled, PeriodInstrs: *samplePer},
 		Totals: totals,
+	}
+	if err := o.Sample.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 
 	run := func(name string) error {

@@ -41,6 +41,11 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the event trace as JSONL to this file (enables the tracer)")
 		traceCap   = flag.Int("trace-cap", 1<<16, "event-trace ring-buffer capacity (with -trace-out)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+		sampled    = flag.Bool("sample", false, "interval-sampled simulation (fast mode): short measured intervals separated by functional-warmup gaps; see README for the accuracy caveats")
+		sampleIvl  = flag.Uint64("sample-interval", 0, "with -sample, measured-interval length in instructions (0 = default)")
+		samplePer  = flag.Uint64("sample-period", 0, "with -sample, sampling period in instructions (0 = default)")
+		sampleRamp = flag.Uint64("sample-ramp", 0, "with -sample, detailed ramp before each interval in instructions (0 = default)")
+		sampleSeed = flag.Uint64("sample-seed", 0, "with -sample, interval-placement seed (0 = derive from the workload)")
 		check      = flag.Bool("check", false, "run the lockstep functional oracle and invariant sweeps; violations fail the run")
 		checkFF    = flag.Bool("check-failfast", false, "with -check, abort at the first violation instead of accumulating")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache shared with cmd/experiments; a hit skips the simulation (ignored when -metrics-out/-trace-out/-pprof/-trace need a live system)")
@@ -83,6 +88,17 @@ func main() {
 	}
 	if *traceOut != "" {
 		cfg.TraceCapacity = *traceCap
+	}
+	cfg.Sample = sim.SampleConfig{
+		Enabled:        *sampled,
+		IntervalInstrs: *sampleIvl,
+		PeriodInstrs:   *samplePer,
+		RampInstrs:     *sampleRamp,
+		Seed:           *sampleSeed,
+	}
+	if err := cfg.Sample.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pgcsim: %v\n", err)
+		os.Exit(1)
 	}
 	cfg.Check = sim.CheckConfig{Enabled: *check || *checkFF, FailFast: *checkFF}
 	if cfg.Check.FailFast {

@@ -41,7 +41,7 @@ type Request struct {
 
 	// Prefetch metadata, used by the L1D hooks.
 	IsPageCross bool
-	FilterTag   any
+	FilterTag   uint64
 	Delta       int64
 }
 
@@ -51,13 +51,12 @@ type Block struct {
 	dirty     bool
 	pa        mem.PAddr // line-aligned physical address
 	tag       uint64
-	lru       uint64 // higher = more recently used
 	issue     uint64 // cycle the fill request was issued
 	ready     uint64 // fill-completion cycle
 	prefetch  bool   // filled by a prefetch, cleared design-wise never (stat kept until evict)
 	pageCross bool   // the paper's PCB bit
 	servedHit bool   // served >=1 demand access since fill
-	filterTag any    // page-cross filter tag carried from the prefetch
+	filterTag uint64 // page-cross filter tag carried from the prefetch
 }
 
 // EvictInfo describes an evicted block to the eviction hook.
@@ -66,7 +65,7 @@ type EvictInfo struct {
 	Prefetch  bool
 	PageCross bool
 	ServedHit bool
-	FilterTag any
+	FilterTag uint64
 	Dirty     bool
 }
 
@@ -77,7 +76,7 @@ type HitInfo struct {
 	PC        mem.VAddr
 	Prefetch  bool
 	PageCross bool
-	FilterTag any
+	FilterTag uint64
 	// FirstHit is true when this is the first demand access the block
 	// serves since it was filled.
 	FirstHit bool
@@ -136,18 +135,40 @@ type inflight struct {
 	ready       uint64
 	prefetch    bool
 	pageCross   bool
-	filterTag   any
+	filterTag   uint64
 	demandMerge bool // a demand access merged while in flight
 	leaked      bool // fault injection: the MSHR release for this fill is lost
 }
+
+// invalidTag marks an empty way in the packed tag array. No reachable
+// physical address produces it: a real tag is PA.LineID() >> log2(sets),
+// far below 2^64-1 for any physical memory the simulator can configure.
+const invalidTag = ^uint64(0)
 
 // Cache is one physically-tagged cache level.
 type Cache struct {
 	cfg   Config
 	lower Level
 	sets  [][]Block
+	// tags is the packed struct-of-arrays mirror of each block's tag (one
+	// word per way, invalidTag for empty ways): the associative lookup scan
+	// reads one contiguous row instead of striding across Block records.
+	// fill, Warm and Flush keep it in exact sync with the blocks.
+	tags []uint64
+	// lrus is the packed replacement state (LRU stamp, or RRPV for SRRIP),
+	// one word per way parallel to tags. Victim selection scans this row and
+	// the tag row — two contiguous arrays — instead of striding across the
+	// full Block records.
+	lrus  []uint64
 	clock uint64 // monotonic LRU counter
-	rng   uint64 // state for random replacement
+	// setShift is log2(Sets), precomputed: tag extraction runs on every
+	// access at every level and must not re-derive it.
+	setShift uint
+	// lowerWarm is lower pre-asserted to warmable (nil when the lower level
+	// cannot warm, e.g. DRAM); Warm cascades misses through it without a
+	// per-call type assertion.
+	lowerWarm warmable
+	rng       uint64 // state for random replacement
 	// missLatEWMA tracks the typical demand full-miss latency at this
 	// level; the merge-usefulness test compares against it.
 	missLatEWMA uint64
@@ -205,10 +226,19 @@ func New(cfg Config, lower Level) (*Cache, error) {
 	for i := range sets {
 		sets[i], blocks = blocks[:cfg.Ways], blocks[cfg.Ways:]
 	}
+	tags := make([]uint64, cfg.Sets*cfg.Ways)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
+	lw, _ := lower.(warmable)
 	return &Cache{
 		cfg:         cfg,
 		lower:       lower,
+		lowerWarm:   lw,
 		sets:        sets,
+		tags:        tags,
+		lrus:        make([]uint64, cfg.Sets*cfg.Ways),
+		setShift:    uint(log2(cfg.Sets)),
 		outstanding: make(map[uint64]*inflight),
 		minReady:    ^uint64(0),
 		missLatEWMA: 300, // sane prior until real misses calibrate it
@@ -227,7 +257,7 @@ func (c *Cache) setIndex(pa mem.PAddr) uint64 {
 }
 
 func (c *Cache) tag(pa mem.PAddr) uint64 {
-	return pa.LineID() >> uint(log2(c.cfg.Sets))
+	return pa.LineID() >> c.setShift
 }
 
 func log2(x int) int {
@@ -239,14 +269,23 @@ func log2(x int) int {
 	return n
 }
 
+// findWay scans the packed tag row of one set and returns the way holding
+// tag, or -1.
+func (c *Cache) findWay(si, tag uint64) int {
+	base := si * uint64(c.cfg.Ways)
+	for i, k := range c.tags[base : base+uint64(c.cfg.Ways)] {
+		if k == tag {
+			return i
+		}
+	}
+	return -1
+}
+
 // lookup returns the resident block for pa, or nil.
 func (c *Cache) lookup(pa mem.PAddr) *Block {
-	set := c.sets[c.setIndex(pa)]
-	tag := c.tag(pa)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return &set[i]
-		}
+	si := c.setIndex(pa)
+	if wi := c.findWay(si, c.tag(pa)); wi >= 0 {
+		return &c.sets[si][wi]
 	}
 	return nil
 }
@@ -331,8 +370,10 @@ func (c *Cache) access(req *Request, cycle uint64) uint64 {
 	// prefetch issued at walk-completion time must not serve (or delay) a
 	// demand that arrives before it physically existed. Such a demand
 	// misses and fetches independently; the overtaken prefetch is wasted.
-	if b := c.lookup(req.PA); b != nil && cycle >= b.issue {
-		c.touch(b)
+	hitSI := c.setIndex(req.PA)
+	if wi := c.findWay(hitSI, c.tag(req.PA)); wi >= 0 && cycle >= c.sets[hitSI][wi].issue {
+		b := &c.sets[hitSI][wi]
+		c.touch(hitSI, wi)
 		ready := cycle + c.cfg.Latency
 		merged := b.ready > ready
 		if merged {
@@ -449,47 +490,60 @@ func (c *Cache) access(req *Request, cycle uint64) uint64 {
 }
 
 // touch updates replacement state on a hit.
-func (c *Cache) touch(b *Block) {
+func (c *Cache) touch(si uint64, wi int) {
+	idx := si*uint64(c.cfg.Ways) + uint64(wi)
 	switch c.cfg.Repl {
 	case ReplSRRIP:
-		b.lru = 0 // RRPV: re-referenced soon
+		c.lrus[idx] = 0 // RRPV: re-referenced soon
 	case ReplRandom:
 		// Random replacement keeps no reuse state.
 	default: // LRU
 		c.clock++
-		b.lru = c.clock
+		c.lrus[idx] = c.clock
 	}
 }
 
-// victimIn picks the way to replace in a set, per the configured policy.
-func (c *Cache) victimIn(set []Block) int {
-	for i := range set {
-		if !set[i].valid {
+// victimIn picks the way to replace in set si, per the configured policy.
+// Validity comes from the packed tag row (invalidTag marks empty ways), so
+// the scan never dereferences the Block records.
+func (c *Cache) victimIn(si uint64) int {
+	ways := uint64(c.cfg.Ways)
+	keys := c.tags[si*ways : si*ways+ways]
+	for i, k := range keys {
+		if k == invalidTag {
 			return i
 		}
 	}
+	return c.victimFull(si)
+}
+
+// victimFull picks the replacement victim in set si assuming every way is
+// valid (the caller has already checked the tag row for empty ways).
+func (c *Cache) victimFull(si uint64) int {
+	ways := uint64(c.cfg.Ways)
+	lrus := c.lrus[si*ways : si*ways+ways]
 	switch c.cfg.Repl {
 	case ReplSRRIP:
 		// Find an RRPV-3 block, aging the set until one exists.
 		for {
-			for i := range set {
-				if set[i].lru >= 3 {
+			for i, v := range lrus {
+				if v >= 3 {
 					return i
 				}
 			}
-			for i := range set {
-				set[i].lru++
+			for i := range lrus {
+				lrus[i]++
 			}
 		}
 	case ReplRandom:
 		c.rng = c.rng*6364136223846793005 + 1442695040888963407
-		return int((c.rng >> 33) % uint64(len(set)))
+		return int((c.rng >> 33) % ways)
 	default: // LRU
 		victim := 0
 		var oldest uint64 = ^uint64(0)
-		for i := range set {
-			if set[i].lru < oldest {
-				oldest = set[i].lru
+		for i, v := range lrus {
+			if v < oldest {
+				oldest = v
 				victim = i
 			}
 		}
@@ -515,11 +569,14 @@ func (c *Cache) fillStamp() uint64 {
 // versa), the existing block is replaced in place so a set never holds two
 // copies of one tag.
 func (c *Cache) fill(req *Request, fl *inflight, issue, ready uint64) {
-	set := c.sets[c.setIndex(req.PA)]
-	b := c.lookup(req.PA)
-	if b == nil {
-		b = &set[c.victimIn(set)]
+	si := c.setIndex(req.PA)
+	set := c.sets[si]
+	tag := c.tag(req.PA)
+	wi := c.findWay(si, tag)
+	if wi < 0 {
+		wi = c.victimIn(si)
 	}
+	b := &set[wi]
 	if b.valid {
 		c.evict(b)
 	}
@@ -528,8 +585,7 @@ func (c *Cache) fill(req *Request, fl *inflight, issue, ready uint64) {
 		valid:     true,
 		dirty:     req.Type == mem.Store,
 		pa:        req.PA.Line(),
-		tag:       c.tag(req.PA),
-		lru:       c.fillStamp(),
+		tag:       tag,
 		issue:     issue,
 		ready:     ready,
 		prefetch:  isPrefetch,
@@ -537,6 +593,8 @@ func (c *Cache) fill(req *Request, fl *inflight, issue, ready uint64) {
 		servedHit: fl.demandMerge && !isPrefetch,
 		filterTag: req.FilterTag,
 	}
+	c.tags[si*uint64(c.cfg.Ways)+uint64(wi)] = tag
+	c.lrus[si*uint64(c.cfg.Ways)+uint64(wi)] = c.fillStamp()
 	if isPrefetch {
 		c.Stats.PrefetchFills++
 		if fl.pageCross {
@@ -635,8 +693,15 @@ func (c *Cache) CheckInvariants(cycle uint64) error {
 		set := c.sets[si]
 		for wi := range set {
 			b := &set[wi]
+			mirror := c.tags[uint64(si)*uint64(c.cfg.Ways)+uint64(wi)]
 			if !b.valid {
+				if mirror != invalidTag {
+					return fmt.Errorf("tag-desync: %s set %d way %d invalid but packed tag %#x", c.cfg.Name, si, wi, mirror)
+				}
 				continue
+			}
+			if mirror != b.tag {
+				return fmt.Errorf("tag-desync: %s set %d way %d holds tag %#x but packed tag %#x", c.cfg.Name, si, wi, b.tag, mirror)
 			}
 			if int(c.setIndex(b.pa)) != si || c.tag(b.pa) != b.tag {
 				return fmt.Errorf("block-misplaced: %s block pa %#x stored in set %d tag %#x, address maps to set %d tag %#x",
@@ -667,6 +732,73 @@ func (c *Cache) Flush() {
 			}
 		}
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.lrus[i] = 0
+	}
 	c.outstanding = make(map[uint64]*inflight)
 	c.minReady = ^uint64(0)
+}
+
+// warmable is the optional functional-warm interface of a lower level; the
+// cascade stops at levels that do not implement it (the DRAM controller,
+// fault-injection wrappers).
+type warmable interface {
+	Warm(pa mem.PAddr, store bool)
+}
+
+// Warm performs a functional access: residency, replacement state and dirty
+// bits update exactly as a demand access would update them, but no
+// statistics move, no hooks fire, no MSHR is allocated and no timing is
+// modelled. Misses install the line immediately and cascade the warm access
+// into the lower level (when it is itself a cache), so a functional-warmup
+// gap leaves the whole hierarchy's residency state where detailed execution
+// would have left it. Dirty victims are warm-written to the lower level to
+// preserve its residency too; prefetch/PCB metadata of victims is dropped
+// silently (the measurement counters are frozen during gaps by design).
+func (c *Cache) Warm(pa mem.PAddr, store bool) {
+	si := c.setIndex(pa)
+	tag := c.tag(pa)
+	// One fused pass over the tag row finds a resident hit and the first
+	// empty way together; misses in a full set fall through to the policy
+	// victim scan. Warm traffic is overwhelmingly full-hierarchy misses
+	// (the gap's new working set), so saving the second row traversal per
+	// level is a measurable share of functional-warmup time.
+	ways := uint64(c.cfg.Ways)
+	inv := -1
+	for i, k := range c.tags[si*ways : si*ways+ways] {
+		if k == tag {
+			b := &c.sets[si][i]
+			c.touch(si, i)
+			if store {
+				b.dirty = true
+			}
+			b.servedHit = true
+			return
+		}
+		if k == invalidTag && inv < 0 {
+			inv = i
+		}
+	}
+	set := c.sets[si]
+	wi := inv
+	if wi < 0 {
+		wi = c.victimFull(si)
+	}
+	b := &set[wi]
+	if b.valid && b.dirty && c.lowerWarm != nil {
+		c.lowerWarm.Warm(b.pa, true)
+	}
+	*b = Block{
+		valid:     true,
+		dirty:     store,
+		pa:        pa.Line(),
+		tag:       tag,
+		servedHit: true,
+	}
+	c.tags[si*uint64(c.cfg.Ways)+uint64(wi)] = tag
+	c.lrus[si*uint64(c.cfg.Ways)+uint64(wi)] = c.fillStamp()
+	if c.lowerWarm != nil {
+		c.lowerWarm.Warm(pa, false)
+	}
 }

@@ -64,10 +64,25 @@ func TestCheckInvariantsCatchesSetCorruption(t *testing.T) {
 		mutate(c, b)
 		checkAfter(t, c, 1_000, want)
 	}
-	corrupt(t, func(c *Cache, b *Block) { b.tag ^= 1 }, "block-misplaced:")
+	// Corruptions that keep the packed tag mirror coherent, so the deeper
+	// semantic checks (not the mirror sweep) must catch them.
+	corrupt(t, func(c *Cache, b *Block) {
+		si := c.setIndex(b.pa)
+		wi := c.findWay(si, b.tag)
+		b.tag ^= 1
+		c.tags[si*uint64(c.cfg.Ways)+uint64(wi)] = b.tag
+	}, "block-misplaced:")
 	corrupt(t, func(c *Cache, b *Block) { b.issue = b.ready + 10 }, "block-time-order:")
 	corrupt(t, func(c *Cache, b *Block) {
-		set := c.sets[c.setIndex(b.pa)]
+		si := c.setIndex(b.pa)
+		set := c.sets[si]
 		set[1] = *b // second way, same tag
+		c.tags[si*uint64(c.cfg.Ways)+1] = b.tag
 	}, "duplicate-tag:")
+	// A one-sided mutation desyncs the packed mirror from the blocks.
+	corrupt(t, func(c *Cache, b *Block) { b.tag ^= 1 }, "tag-desync:")
+	corrupt(t, func(c *Cache, b *Block) {
+		si := c.setIndex(b.pa)
+		c.tags[si*uint64(c.cfg.Ways)+1] = b.tag // invalid way claims a tag
+	}, "tag-desync:")
 }

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fuzzFamilies spans the generator behaviours sampling must survive:
+// page-marching streams, page-hostile hops, irregular graph frontiers and
+// short industrial phases.
+var fuzzFamilies = []string{
+	"spec.stream_s00", "spec.pagehop_s00", "gap.graph_s00", "qmm_int.qmm_u00",
+}
+
+// FuzzSampledVsFull throws randomized sampling schedules at randomized
+// workloads and holds three properties the campaign layer depends on:
+//
+//  1. no panic and no error from either execution mode for any structurally
+//     valid schedule (degenerate periods, tiny budgets, ragged tails);
+//  2. the sampled run stays within a coarse error envelope of the full run —
+//     sampling at its worst is an approximation, never garbage;
+//  3. the content-addressed cache key of a sampled cell differs from its
+//     full-detail twin (and moves when the schedule moves), so sampled
+//     results can never alias full ones in the result cache.
+func FuzzSampledVsFull(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint16(2000), uint32(0), uint16(1000), uint8(2))
+	f.Add(uint8(1), uint64(7), uint16(500), uint32(8_192), uint16(250), uint8(0))
+	f.Add(uint8(2), uint64(42), uint16(4000), uint32(50_000), uint16(2000), uint8(5))
+	f.Add(uint8(3), uint64(0), uint16(1), uint32(1), uint16(1), uint8(7))
+	f.Fuzz(func(t *testing.T, familySel uint8, seed uint64, interval uint16, period uint32, ramp uint16, budgetSel uint8) {
+		w, ok := trace.ByName(fuzzFamilies[int(familySel)%len(fuzzFamilies)])
+		if !ok {
+			t.Fatal("fuzz workload missing")
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Policy = sim.PolicyDripper
+		cfg.WarmupInstrs = 5_000
+		cfg.SimInstrs = 40_000 + uint64(budgetSel%8)*20_000
+
+		sc := sim.SampleConfig{
+			Enabled:        true,
+			Seed:           seed,
+			IntervalInstrs: 500 + uint64(interval)%3_500,
+			RampInstrs:     200 + uint64(ramp)%1_800,
+		}
+		if period%2 == 1 {
+			// Explicit period, clamped up to structural validity; even values
+			// exercise the auto-scaled default instead.
+			sc.PeriodInstrs = uint64(period) % 56_000
+			if min := sc.IntervalInstrs + sc.RampInstrs; sc.PeriodInstrs < min {
+				sc.PeriodInstrs = min
+			}
+		}
+
+		full, err := sim.RunWorkload(context.Background(), cfg, w)
+		if err != nil {
+			t.Fatalf("full run: %v", err)
+		}
+		sampledCfg := cfg
+		sampledCfg.Sample = sc
+		samp, err := sim.RunWorkload(context.Background(), sampledCfg, w)
+		if err != nil {
+			t.Fatalf("sampled run: %v", err)
+		}
+
+		// Coarse error envelope: at fuzz-sized budgets a handful of intervals
+		// represent the run, so the bound is loose — it exists to catch
+		// catastrophic divergence (cold warm state, broken ramp exclusion),
+		// not to re-litigate the golden accuracy gate.
+		if fi, si := full.IPC(), samp.IPC(); math.Abs(si-fi)/fi > 0.5 {
+			t.Fatalf("sampled IPC %.4f strayed more than 50%% from full %.4f (schedule %+v)", si, fi, sc)
+		}
+
+		fullKey, err := KeyOf(cfg, w)
+		if err != nil {
+			t.Fatalf("full key: %v", err)
+		}
+		sampKey, err := KeyOf(sampledCfg, w)
+		if err != nil {
+			t.Fatalf("sampled key: %v", err)
+		}
+		if fullKey == sampKey {
+			t.Fatal("sampled cell aliases its full-detail twin in the result cache")
+		}
+		reseeded := sampledCfg
+		reseeded.Sample.Seed = seed + 1
+		reseededKey, err := KeyOf(reseeded, w)
+		if err != nil {
+			t.Fatalf("reseeded key: %v", err)
+		}
+		if reseededKey == sampKey {
+			t.Fatal("moving the sampling seed did not move the cache key")
+		}
+	})
+}

@@ -53,6 +53,12 @@ type Config struct {
 	// ReplayOnEnd restarts the trace when it runs out (multi-core replay,
 	// §IV-A2); when false the core simply stops at trace end.
 	ReplayOnEnd bool
+	// DisableIdleSkip forces cycle-by-cycle stepping even through cycles
+	// where neither retire nor dispatch can make progress. The event-driven
+	// skip is bit-exact with the cycle-by-cycle reference (the lockstep
+	// tests prove it); this switch exists so those tests — and anyone
+	// debugging a suspected skip bug — can run the reference model.
+	DisableIdleSkip bool
 }
 
 // DefaultConfig matches Table IV.
@@ -99,6 +105,13 @@ type Core struct {
 	retiredTotal uint64
 	lastRetire   uint64
 
+	// Monotonicity witnesses for CheckInvariants: the clock and the
+	// lifetime retire count observed at the previous sweep. The event-driven
+	// idle skip advances the clock in jumps; these prove it never moves
+	// backwards between any two checks.
+	checkedCycle   uint64
+	checkedRetired uint64
+
 	// BP is the hashed perceptron branch predictor (Table IV).
 	BP *BranchPredictor
 
@@ -116,24 +129,34 @@ func New(cfg Config, ports Ports) (*Core, error) {
 		return nil, fmt.Errorf("cpu: all memory ports must be connected")
 	}
 	return &Core{
-		cfg:   cfg,
-		ports: ports,
-		rob:   make([]uint64, cfg.ROBSize),
-		robPC: make([]uint64, cfg.ROBSize),
-		BP:    NewBranchPredictor(),
-		Stats: &stats.CoreStats{},
+		cfg:       cfg,
+		ports:     ports,
+		rob:       make([]uint64, cfg.ROBSize),
+		robPC:     make([]uint64, cfg.ROBSize),
+		BP:        NewBranchPredictor(),
+		Stats:     &stats.CoreStats{},
+		nextEpoch: cfg.EpochInstrs,
 	}, nil
 }
 
 // Attach points the core at a trace with an instruction budget (retired
 // instructions). Attach may be called again to continue with a new budget.
+// The epoch cadence is deliberately left alone: re-arming it here would let
+// a caller that drives the core in short segments (interval sampling)
+// starve the Epoch callback — and with it every adaptive policy — forever.
 func (c *Core) Attach(r trace.Reader, budget uint64) {
 	c.reader = r
 	c.budget = budget
 	c.traceEnded = false
-	if c.cfg.EpochInstrs > 0 {
-		c.nextEpoch = c.Stats.Instructions + c.cfg.EpochInstrs
-	}
+}
+
+// ResetStats zeroes the statistics and restarts the epoch cadence from the
+// new zero point, preserving all microarchitectural state. Callers that
+// zero Stats directly would leave nextEpoch stranded past the reset
+// instruction count, silencing the Epoch callback for EpochInstrs.
+func (c *Core) ResetStats() {
+	*c.Stats = stats.CoreStats{}
+	c.nextEpoch = c.cfg.EpochInstrs
 }
 
 // Cycle returns the core's current cycle.
@@ -176,11 +199,19 @@ func (c *Core) unread(in trace.Instr) {
 // StepCycles advances the core by at most n cycles, returning true when the
 // budget is exhausted (Done).
 func (c *Core) StepCycles(n uint64) bool {
-	for i := uint64(0); i < n; i++ {
+	for i := uint64(0); i < n; {
 		if c.Done() {
 			return true
 		}
+		if !c.cfg.DisableIdleSkip {
+			if k := c.idleCycles(n - i); k > 0 {
+				c.skipIdle(k)
+				i += k
+				continue
+			}
+		}
 		c.step()
+		i++
 	}
 	return c.Done()
 }
@@ -188,8 +219,61 @@ func (c *Core) StepCycles(n uint64) bool {
 // Run drives the core until its budget is retired.
 func (c *Core) Run() {
 	for !c.Done() {
+		if !c.cfg.DisableIdleSkip {
+			if k := c.idleCycles(^uint64(0)); k > 0 {
+				c.skipIdle(k)
+				continue
+			}
+		}
 		c.step()
 	}
+}
+
+// idleCycles returns the number of cycles (capped at max) that can be
+// skipped wholesale because the next cycle provably does nothing: the ROB
+// head has not completed (no retire) and the front-end fetch is outstanding
+// or the trace is exhausted (no dispatch). The skip distance is the gap to
+// the next event — min(head completion, fetch arrival) — so the event-driven
+// clock never runs past a cycle where state could change; 0 means the next
+// cycle must be stepped in detail.
+func (c *Core) idleCycles(max uint64) uint64 {
+	cyc := c.cycle
+	next := ^uint64(0)
+	if c.count > 0 {
+		if c.rob[c.head] <= cyc {
+			return 0 // retire can proceed this cycle
+		}
+		next = c.rob[c.head]
+	}
+	if c.count < c.cfg.ROBSize && !(c.traceEnded && !c.hasPending) {
+		if c.fetchAvail <= cyc {
+			return 0 // dispatch can proceed this cycle
+		}
+		if c.fetchAvail < next {
+			next = c.fetchAvail
+		}
+	}
+	if next == ^uint64(0) {
+		return 0 // no pending event; let step (and Done) decide
+	}
+	k := next - cyc
+	if k > max {
+		k = max
+	}
+	return k
+}
+
+// skipIdle advances the clock by k provably-idle cycles, applying exactly
+// the per-cycle accounting step would have applied: an ROB-stall cycle per
+// cycle when the ROB is non-empty, occupancy-weighted ROB accounting, and
+// the cycle counters.
+func (c *Core) skipIdle(k uint64) {
+	if c.count > 0 {
+		c.Stats.ROBStallCycles += k
+	}
+	c.Stats.ROBOccupancy += uint64(c.count) * k
+	c.Stats.Cycles += k
+	c.cycle += k
 }
 
 // step executes one cycle: retire, then dispatch.
@@ -319,9 +403,10 @@ func (c *Core) ROBHead() (pc, ready uint64, ok bool) {
 
 // CheckInvariants verifies the core's pipeline invariants: ROB occupancy
 // within [0, ROBSize], a head index inside the ring, retire bookkeeping that
-// never runs ahead of the core clock, and a budget/ROB relationship that
-// still permits forward progress. Returns the first violation, nil when
-// clean.
+// never runs ahead of the core clock, clock/retire monotonicity across the
+// event-driven idle skip (time never goes backwards between two sweeps),
+// and a budget/ROB relationship that still permits forward progress.
+// Returns the first violation, nil when clean.
 func (c *Core) CheckInvariants() error {
 	if c.count < 0 || c.count > c.cfg.ROBSize {
 		return fmt.Errorf("rob-occupancy: %d entries outside [0,%d]", c.count, c.cfg.ROBSize)
@@ -335,6 +420,14 @@ func (c *Core) CheckInvariants() error {
 	if c.retiredTotal < c.Stats.Instructions {
 		return fmt.Errorf("retire-count: lifetime retired %d below current-window instructions %d", c.retiredTotal, c.Stats.Instructions)
 	}
+	if c.cycle < c.checkedCycle {
+		return fmt.Errorf("clock-backwards: core cycle %d below previously observed cycle %d", c.cycle, c.checkedCycle)
+	}
+	if c.retiredTotal < c.checkedRetired {
+		return fmt.Errorf("retire-backwards: lifetime retired %d below previously observed %d", c.retiredTotal, c.checkedRetired)
+	}
+	c.checkedCycle = c.cycle
+	c.checkedRetired = c.retiredTotal
 	return nil
 }
 

@@ -184,6 +184,34 @@ func TestSubmitRejectsInvalid(t *testing.T) {
 	}
 }
 
+// TestSubmitSampledCell validates sampling end to end over the wire: a
+// sampled cell is admitted, runs to completion, and occupies its own slot in
+// the content-addressed cache (a full-detail twin submitted first must not
+// serve it warm), while a structurally invalid schedule is rejected at
+// admission rather than deep inside the engine.
+func TestSubmitSampledCell(t *testing.T) {
+	_, ts := openTest(t, testConfig(t))
+
+	if resp, sr := submit(t, ts, `{"id":"full","cells":[
+		{"id":"a","workload":"spec.stream_s00"}],"wait_ms":15000}`); resp.StatusCode != http.StatusOK || sr.State != JobDone {
+		t.Fatalf("full submit: %d %s", resp.StatusCode, sr.State)
+	}
+	resp, sr := submit(t, ts, `{"id":"sampled","cells":[
+		{"id":"a","workload":"spec.stream_s00","config":{"Sample":{"enabled":true}}}],"wait_ms":15000}`)
+	if resp.StatusCode != http.StatusOK || sr.State != JobDone {
+		t.Fatalf("sampled submit: %d %s (error %q)", resp.StatusCode, sr.State, sr.JobStatus.Error)
+	}
+	if sr.Result == nil || sr.Result.Simulated != 1 {
+		t.Fatalf("sampled result = %+v, want 1 fresh simulation (no aliasing with the full-detail twin)", sr.Result)
+	}
+
+	resp, _ = submit(t, ts, `{"id":"badsched","cells":[
+		{"id":"a","workload":"spec.stream_s00","config":{"Sample":{"enabled":true,"interval_instrs":5000,"period_instrs":1000}}}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid schedule status = %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestIdempotentSubmit(t *testing.T) {
 	s, ts := openTest(t, testConfig(t))
 	body := `{"id":"idem","cells":[{"id":"a","workload":"spec.stream_s00"}],"wait_ms":15000}`

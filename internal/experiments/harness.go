@@ -53,6 +53,11 @@ type Options struct {
 	// land in the failure ledger under the "check" stage; see
 	// MatrixReport.CheckFailures.
 	Check sim.CheckConfig
+	// Sample enables interval-sampled simulation for every run of the
+	// experiment (zero value = full detail). The sampling parameters are
+	// part of each cell's content-address cache key, so sampled and full
+	// results never alias in the campaign cache.
+	Sample sim.SampleConfig
 	// Configure, when non-nil, mutates each job's configuration after the
 	// scenario has been applied — the hook fault-injection tests and
 	// per-workload overrides use.
@@ -84,6 +89,7 @@ func baseConfig(o Options) sim.Config {
 	cfg.L1DPrefetcher = o.Prefetcher
 	cfg.Watchdog = o.Watchdog
 	cfg.Check = o.Check
+	cfg.Sample = o.Sample
 	return cfg
 }
 

@@ -73,7 +73,7 @@ type Request struct {
 	// FilterTag carries the page-cross filter's hashed indexes so that the
 	// training buffers (vUB/pUB) can update the exact weights that produced
 	// the decision. Nil for requests the filter never saw.
-	FilterTag any
+	FilterTag uint64
 	// Delta is the line delta (in cache lines) between the triggering
 	// access and the prefetch target. Zero for demand accesses.
 	Delta int64

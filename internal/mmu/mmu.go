@@ -179,6 +179,29 @@ func (m *MMU) translate(l1 *tlb.TLB, va mem.VAddr, cycle uint64, demand, allowWa
 	return Result{Translation: tr, Ready: ready, Source: SrcWalk}
 }
 
+// WarmData functionally translates a data access: TLB residency, LRU state
+// and PSC contents update as a demand translation would update them, but no
+// statistics move, no memory reads are issued and no timing is modelled.
+// Used by the interval sampler's functional-warmup gaps.
+func (m *MMU) WarmData(va mem.VAddr) vmem.Translation { return m.warm(m.DTLB, va) }
+
+// WarmInstr functionally translates an instruction fetch (see WarmData).
+func (m *MMU) WarmInstr(va mem.VAddr) vmem.Translation { return m.warm(m.ITLB, va) }
+
+func (m *MMU) warm(l1 *tlb.TLB, va mem.VAddr) vmem.Translation {
+	if tr, hit := l1.Lookup(va, false); hit {
+		return tr
+	}
+	if tr, hit := m.STLB.Lookup(va, false); hit {
+		l1.InsertQuiet(va, tr)
+		return tr
+	}
+	tr := m.PTW.WarmWalk(va)
+	m.STLB.InsertQuiet(va, tr)
+	l1.InsertQuiet(va, tr)
+	return tr
+}
+
 // CheckInvariants verifies the whole translation path: every TLB level's
 // entries against resolve (the reference page table), and the walker's
 // in-flight and PSC bookkeeping at the given cycle. Returns the first

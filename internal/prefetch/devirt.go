@@ -1,0 +1,36 @@
+package prefetch
+
+// TrainFunc returns p's Train as a direct method value for every concrete
+// engine the package ships, falling back to the interface method otherwise.
+// The sim layer calls Train once per demand access — the hottest call in a
+// simulation — and a method value bound to the concrete receiver lets the
+// compiler devirtualize (and potentially inline) the dispatch that an
+// interface call would resolve through the itab every time. Returns nil for
+// a nil prefetcher so callers can use the func value itself as the
+// is-prefetching-enabled test.
+func TrainFunc(p Prefetcher) func(Access) []Candidate {
+	switch e := p.(type) {
+	case nil:
+		return nil
+	case *Berti:
+		return e.Train
+	case *IPCP:
+		return e.Train
+	case *BOP:
+		return e.Train
+	case *Stride:
+		return e.Train
+	case *SMS:
+		return e.Train
+	case *SPP:
+		return e.Train
+	case *FNLMMA:
+		return e.Train
+	case *NextLine:
+		return e.Train
+	case *Throttle:
+		return e.Train
+	default:
+		return p.Train
+	}
+}

@@ -39,13 +39,11 @@ func TestCheckInvariants(t *testing.T) {
 			t.Fatalf("CheckInvariants = %v", err)
 		}
 	})
-	t.Run("psc-overflow", func(t *testing.T) {
+	t.Run("psc-duplicate", func(t *testing.T) {
 		w, _ := newWalker(t, &flatMem{latency: 10}, false)
 		p := w.pscs[vmem.LevelPD]
-		for i := 0; i <= p.cap; i++ {
-			p.entries[uint64(i)] = uint64(i)
-		}
-		if err := w.CheckInvariants(0); err == nil || !strings.HasPrefix(err.Error(), "psc-overflow:") {
+		p.tags[0], p.tags[1] = 42, 42
+		if err := w.CheckInvariants(0); err == nil || !strings.HasPrefix(err.Error(), "psc-duplicate:") {
 			t.Fatalf("CheckInvariants = %v", err)
 		}
 	})

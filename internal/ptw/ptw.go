@@ -61,14 +61,29 @@ func (c Config) Validate() error {
 
 // psc is one fully-associative page-structure cache. A hit at level l means
 // the walker already knows the entry read at level l and resumes at l+1.
+// psc is a tiny fully-associative cache of upper-level page-table entries
+// (1–32 entries per level). At these capacities a linear scan over two
+// packed arrays beats any map: lookup is a handful of contiguous word
+// compares, and LRU eviction is the same scan over the stamp array instead
+// of a whole-map iteration per insert (which profiling showed dominating
+// the functional-warmup walk path).
 type psc struct {
-	entries map[uint64]uint64 // tag → LRU stamp
-	cap     int
-	clock   uint64
+	tags   []uint64 // valid entries in [0, len); invalidPSCTag marks empty slots
+	stamps []uint64 // LRU stamp per slot, parallel to tags
+	clock  uint64
 }
 
+// invalidPSCTag marks an empty PSC slot. No reachable tag collides with it:
+// tags are VA bits shifted right by at least PageBits, so the top bits are
+// always zero.
+const invalidPSCTag = ^uint64(0)
+
 func newPSC(capacity int) *psc {
-	return &psc{entries: make(map[uint64]uint64, capacity), cap: capacity}
+	p := &psc{tags: make([]uint64, capacity), stamps: make([]uint64, capacity)}
+	for i := range p.tags {
+		p.tags[i] = invalidPSCTag
+	}
+	return p
 }
 
 // tagFor derives the PSC tag at the given level: the VA bits that select
@@ -79,29 +94,32 @@ func tagFor(va mem.VAddr, level int) uint64 {
 }
 
 func (p *psc) lookup(tag uint64) bool {
-	if _, ok := p.entries[tag]; ok {
-		p.clock++
-		p.entries[tag] = p.clock
-		return true
+	for i, t := range p.tags {
+		if t == tag {
+			p.clock++
+			p.stamps[i] = p.clock
+			return true
+		}
 	}
 	return false
 }
 
 func (p *psc) insert(tag uint64) {
-	if _, ok := p.entries[tag]; !ok && len(p.entries) >= p.cap {
-		// Evict the LRU tag.
-		var victim uint64
-		var oldest uint64 = ^uint64(0)
-		for t, stamp := range p.entries {
-			if stamp < oldest {
-				oldest = stamp
-				victim = t
-			}
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i, t := range p.tags {
+		if t == tag {
+			victim = i // refresh the resident entry in place
+			break
 		}
-		delete(p.entries, victim)
+		if p.stamps[i] < oldest {
+			oldest = p.stamps[i]
+			victim = i
+		}
 	}
 	p.clock++
-	p.entries[tag] = p.clock
+	p.tags[victim] = tag
+	p.stamps[victim] = p.clock
 }
 
 type inflightWalk struct {
@@ -241,6 +259,44 @@ func (w *Walker) Walk(va mem.VAddr, cycle uint64, speculative bool) (vmem.Transl
 	return tr, ready
 }
 
+// warmable is the residency-only fill interface the cache hierarchy exposes
+// for functional warmup.
+type warmable interface {
+	Warm(pa mem.PAddr, store bool)
+}
+
+// WarmWalk functionally resolves va, updating exactly the state a detailed
+// walk would touch — the page-structure caches (same probe-deepest-hit,
+// insert-what-was-read discipline) and the residency of the page-table
+// lines the walk reads in the cache hierarchy — but with no statistics, no
+// timing, and no inflight entry. Warming the PTE lines matters as much as
+// warming the PSCs: on translation-intensive workloads, walks that miss the
+// data caches all the way to DRAM dominate the post-gap transient, and that
+// transient takes tens of thousands of instructions to decay. Used by the
+// interval sampler's functional-warmup gaps.
+func (w *Walker) WarmWalk(va mem.VAddr) vmem.Translation {
+	steps, tr := w.as.WalkInto(w.stepBuf, va)
+	w.stepBuf = steps
+	firstLevel := 0
+	lastCacheable := len(steps) - 2
+	for i := lastCacheable; i >= 0; i-- {
+		if w.pscs[steps[i].Level].lookup(tagFor(va, steps[i].Level)) {
+			firstLevel = i + 1
+			break
+		}
+	}
+	wl, _ := w.level.(warmable)
+	for i := firstLevel; i < len(steps); i++ {
+		if wl != nil {
+			wl.Warm(steps[i].PA, false)
+		}
+		if i <= lastCacheable {
+			w.pscs[steps[i].Level].insert(tagFor(va, steps[i].Level))
+		}
+	}
+	return tr
+}
+
 // CheckInvariants verifies walker structural invariants at the given cycle:
 // after retiring finished walks, outstanding walks never exceed MaxInflight,
 // walk completion times are sane, and no page-structure cache has grown past
@@ -256,8 +312,19 @@ func (w *Walker) CheckInvariants(cycle uint64) error {
 		}
 	}
 	for l, p := range w.pscs {
-		if len(p.entries) > p.cap {
-			return fmt.Errorf("psc-overflow: %s PSC holds %d entries with capacity %d", vmem.LevelName(l), len(p.entries), p.cap)
+		// Capacity overflow is structurally impossible with the fixed slot
+		// array; the representation invariant is instead that no valid tag
+		// is cached twice (a duplicate would make lookup/insert LRU state
+		// diverge silently).
+		for i, t := range p.tags {
+			if t == invalidPSCTag {
+				continue
+			}
+			for j := i + 1; j < len(p.tags); j++ {
+				if p.tags[j] == t {
+					return fmt.Errorf("psc-duplicate: %s PSC caches tag %#x in slots %d and %d", vmem.LevelName(l), t, i, j)
+				}
+			}
 		}
 	}
 	return nil

@@ -162,8 +162,20 @@ func TestPSCEvictionRespectsCapacity(t *testing.T) {
 		w.Walk(mem.VAddr(uint64(i)*mem.LargePageSize), uint64(i)*100000, false)
 	}
 	for l, p := range w.pscs {
-		if len(p.entries) > p.cap {
-			t.Fatalf("PSC %s over capacity: %d > %d", vmem.LevelName(l), len(p.entries), p.cap)
+		valid := 0
+		for _, tag := range p.tags {
+			if tag != invalidPSCTag {
+				valid++
+			}
+		}
+		if valid > len(p.tags) {
+			t.Fatalf("PSC %s over capacity: %d > %d", vmem.LevelName(l), valid, len(p.tags))
+		}
+		if l >= vmem.LevelPT-1 && valid != len(p.tags) {
+			// 100 distinct 2MB regions must have filled the PDE PSC (32
+			// slots) completely — anything less means eviction replaced
+			// live entries prematurely or inserts were dropped.
+			t.Fatalf("PSC %s not full after 100 distinct regions: %d/%d", vmem.LevelName(l), valid, len(p.tags))
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package sample
+
+// Segment is one period of a sampling plan, consumed from the trace in
+// order: Warm instructions executed functionally (state, no timing), then
+// Ramp instructions in detail but excluded from measurement, then Measure
+// instructions in detail and measured.
+type Segment struct {
+	Warm    uint64
+	Ramp    uint64
+	Measure uint64
+}
+
+// Instrs returns the trace instructions the segment consumes.
+func (s Segment) Instrs() uint64 { return s.Warm + s.Ramp + s.Measure }
+
+// splitmix64 is the per-step generator of the interval-placement stream: a
+// counter-based PRNG with no shared state, so plans are pure functions of
+// (seed, total) — byte-identical across hosts, processes and GOMAXPROCS.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SeedFromName derives a stable sampling seed from a workload name
+// (FNV-1a), the fallback when neither the sample config nor the workload
+// provides an explicit seed.
+func SeedFromName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Plan builds the deterministic sampling schedule covering total retired
+// instructions with the given seed. Each full period contributes one
+// ramp+interval at a seed-derived offset within the period; the remainder
+// of the period's slack is carried into the next segment's warm so the
+// schedule covers the stream exactly. A tail too short to hold a ramped
+// interval runs fully measured (short runs degrade gracefully to full
+// detail); trailing warm-only work is dropped, since warming state after
+// the last measurement cannot affect any statistic.
+//
+// The plan's segments consume at most total instructions, and the sum of
+// Ramp+Measure (the detailed work) is what a sampled run pays for.
+func (c Config) Plan(total uint64) []Segment {
+	if !c.Enabled || total == 0 {
+		return nil
+	}
+	c = c.WithDefaults()
+	c.PeriodInstrs = c.PeriodFor(total)
+	detailed := c.RampInstrs + c.IntervalInstrs
+	slack := c.PeriodInstrs - detailed
+	segs := make([]Segment, 0, total/c.PeriodInstrs+1)
+	var carry uint64 // slack deferred from the previous period
+	remaining := total
+	for i := uint64(0); remaining >= c.PeriodInstrs; i++ {
+		off := splitmix64(c.Seed + i)
+		off %= slack + 1
+		segs = append(segs, Segment{Warm: carry + off, Ramp: c.RampInstrs, Measure: c.IntervalInstrs})
+		carry = slack - off
+		remaining -= c.PeriodInstrs
+	}
+	tail := carry + remaining
+	switch {
+	case tail == 0:
+	case tail > detailed:
+		// Room for one more ramped interval in the tail.
+		off := splitmix64(c.Seed + uint64(len(segs)) + 0x5eed)
+		off %= tail - detailed + 1
+		segs = append(segs, Segment{Warm: off, Ramp: c.RampInstrs, Measure: c.IntervalInstrs})
+	default:
+		// Too short to separate ramp from measurement: full detail.
+		segs = append(segs, Segment{Measure: tail})
+	}
+	return segs
+}

@@ -1,0 +1,295 @@
+package sample
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func enabled(interval, period, ramp, seed uint64) Config {
+	return Config{Enabled: true, IntervalInstrs: interval, PeriodInstrs: period, RampInstrs: ramp, Seed: seed}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"disabled-zero", Config{}, true},
+		{"enabled-defaults", Config{Enabled: true}, true},
+		{"valid", enabled(1000, 10000, 500, 1), true},
+		{"period-too-short", enabled(1000, 1200, 500, 1), false},
+		{"exact-fit-period", enabled(1000, 1500, 500, 1), true},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{Enabled: true}.WithDefaults()
+	if c.IntervalInstrs != DefaultIntervalInstrs || c.RampInstrs != DefaultRampInstrs {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.PeriodInstrs != 0 {
+		t.Fatalf("WithDefaults resolved the auto period eagerly: %+v", c)
+	}
+	if d := (Config{}).WithDefaults(); !reflect.DeepEqual(d, Config{}) {
+		t.Fatalf("disabled config mutated by WithDefaults: %+v", d)
+	}
+	if f := (Config{}).DetailedFraction(1_000_000); f != 1 {
+		t.Fatalf("disabled DetailedFraction = %v, want 1", f)
+	}
+	if f := c.DetailedFraction(1_000_000); f <= 0 || f >= 1 {
+		t.Fatalf("enabled DetailedFraction = %v, want in (0,1)", f)
+	}
+}
+
+func TestPeriodFor(t *testing.T) {
+	auto := Config{Enabled: true}
+	// Short runs floor at the dense default period.
+	if p := auto.PeriodFor(1_000_000); p != DefaultMinPeriodInstrs {
+		t.Fatalf("PeriodFor(1M) = %d, want floor %d", p, DefaultMinPeriodInstrs)
+	}
+	// Long runs hold the interval count, not the period.
+	if p := auto.PeriodFor(32_000_000); p != 32_000_000/DefaultTargetIntervals {
+		t.Fatalf("PeriodFor(32M) = %d, want %d", p, 32_000_000/DefaultTargetIntervals)
+	}
+	// Explicit period wins regardless of budget.
+	if p := enabled(1000, 10000, 500, 1).PeriodFor(32_000_000); p != 10000 {
+		t.Fatalf("explicit PeriodFor = %d, want 10000", p)
+	}
+	// Degenerate budgets still yield a schedulable period.
+	huge := Config{Enabled: true, IntervalInstrs: DefaultMinPeriodInstrs * 2}
+	if p := huge.PeriodFor(100); p < huge.IntervalInstrs+DefaultRampInstrs {
+		t.Fatalf("PeriodFor = %d shorter than one ramped interval", p)
+	}
+	// Detailed fraction shrinks as the budget grows (fixed interval count).
+	if f1, f32 := auto.DetailedFraction(1_000_000), auto.DetailedFraction(32_000_000); f32 >= f1 {
+		t.Fatalf("DetailedFraction did not shrink with budget: %v -> %v", f1, f32)
+	}
+}
+
+func TestPlanCoversStream(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		total uint64
+	}{
+		{"exact-periods", enabled(1000, 10000, 500, 42), 100_000},
+		{"ragged-tail", enabled(1000, 10000, 500, 42), 103_777},
+		{"short-tail", enabled(1000, 10000, 500, 42), 10_400},
+		{"sub-period", enabled(1000, 10000, 500, 42), 7_000},
+		{"tiny", enabled(1000, 10000, 500, 42), 100},
+		{"no-slack", enabled(1000, 1500, 500, 42), 9_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			segs := tc.cfg.Plan(tc.total)
+			if len(segs) == 0 {
+				t.Fatal("empty plan for nonzero total")
+			}
+			var consumed, measured uint64
+			for i, s := range segs {
+				if s.Measure == 0 {
+					t.Fatalf("segment %d measures nothing: %+v", i, s)
+				}
+				consumed += s.Instrs()
+				measured += s.Measure
+			}
+			if consumed > tc.total {
+				t.Fatalf("plan consumes %d > total %d", consumed, tc.total)
+			}
+			// Only trailing warm-only slack may be dropped: the shortfall is
+			// bounded by one period's slack plus one period.
+			cfg := tc.cfg.WithDefaults()
+			if tc.total-consumed >= 2*cfg.PeriodInstrs {
+				t.Fatalf("plan drops %d instrs, more than two periods", tc.total-consumed)
+			}
+			if measured == 0 {
+				t.Fatal("plan measures nothing")
+			}
+		})
+	}
+}
+
+func TestPlanDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := enabled(1000, 10000, 500, 7)
+	a := cfg.Plan(1_000_000)
+	b := cfg.Plan(1_000_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	cfg.Seed = 8
+	c := cfg.Plan(1_000_000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanDisabled(t *testing.T) {
+	if segs := (Config{}).Plan(1000); segs != nil {
+		t.Fatalf("disabled plan = %v", segs)
+	}
+	if segs := enabled(10, 100, 10, 1).Plan(0); segs != nil {
+		t.Fatalf("zero-total plan = %v", segs)
+	}
+}
+
+func TestSeedFromName(t *testing.T) {
+	a, b := SeedFromName("spec.stream_s00"), SeedFromName("spec.stream_s01")
+	if a == b {
+		t.Fatal("distinct names hash equal")
+	}
+	if a != SeedFromName("spec.stream_s00") {
+		t.Fatal("hash not stable")
+	}
+	if SeedFromName("") == 0 {
+		t.Fatal("zero seed would disable workload-derived placement")
+	}
+}
+
+// recordOps captures warm calls for inspection.
+type recordOps struct {
+	fetches []uint64
+	loads   []uint64
+	stores  []uint64
+}
+
+func (o *recordOps) WarmFetch(pc uint64) { o.fetches = append(o.fetches, pc) }
+func (o *recordOps) WarmLoad(va uint64)  { o.loads = append(o.loads, va) }
+func (o *recordOps) WarmStore(va uint64) { o.stores = append(o.stores, va) }
+
+func warmTrace() []trace.Instr {
+	return []trace.Instr{
+		{PC: 0x1000, Kind: trace.Load, Addr: 0xa000},
+		{PC: 0x1004, Kind: trace.Op},
+		{PC: 0x1040, Kind: trace.Store, Addr: 0xb000}, // new fetch line
+		{PC: 0x1044, Kind: trace.Branch, Taken: true},
+	}
+}
+
+func TestWarmerMirrorsFrontEnd(t *testing.T) {
+	ops := &recordOps{}
+	w := &Warmer{Ops: ops}
+	consumed, ended := w.Run(trace.NewSliceReader(warmTrace()), 4)
+	if consumed != 4 || ended {
+		t.Fatalf("Run = (%d, %v), want (4, false)", consumed, ended)
+	}
+	if want := []uint64{0x1000, 0x1040}; !reflect.DeepEqual(ops.fetches, want) {
+		t.Fatalf("fetches = %#x, want %#x (one per new line)", ops.fetches, want)
+	}
+	if want := []uint64{0xa000}; !reflect.DeepEqual(ops.loads, want) {
+		t.Fatalf("loads = %#x, want %#x", ops.loads, want)
+	}
+	if want := []uint64{0xb000}; !reflect.DeepEqual(ops.stores, want) {
+		t.Fatalf("stores = %#x, want %#x", ops.stores, want)
+	}
+}
+
+func TestWarmerTraceEnd(t *testing.T) {
+	ops := &recordOps{}
+	w := &Warmer{Ops: ops}
+	consumed, ended := w.Run(trace.NewSliceReader(warmTrace()), 10)
+	if consumed != 4 || !ended {
+		t.Fatalf("Run = (%d, %v), want (4, true) without replay", consumed, ended)
+	}
+	w = &Warmer{Ops: ops, Replay: true}
+	consumed, ended = w.Run(trace.NewSliceReader(warmTrace()), 10)
+	if consumed != 10 || ended {
+		t.Fatalf("Run = (%d, %v), want (10, false) with replay", consumed, ended)
+	}
+}
+
+// batchSlice is a BatchReader over a fixed slice, standing in for trace.Gen
+// so the batch fast path can be tested against the scalar path exactly.
+type batchSlice struct {
+	instrs []trace.Instr
+	pos    int
+}
+
+func (b *batchSlice) Next() (trace.Instr, bool) {
+	if b.pos >= len(b.instrs) {
+		return trace.Instr{}, false
+	}
+	in := b.instrs[b.pos]
+	b.pos++
+	return in, true
+}
+
+func (b *batchSlice) Reset() { b.pos = 0 }
+
+func (b *batchSlice) NextBatch(max int) []trace.Instr {
+	if b.pos >= len(b.instrs) {
+		return nil
+	}
+	end := b.pos + max
+	// Hand out short batches (at most 3) so one Run crosses several
+	// NextBatch calls and exercises the chunking loop.
+	if cap := b.pos + 3; end > cap {
+		end = cap
+	}
+	if end > len(b.instrs) {
+		end = len(b.instrs)
+	}
+	out := b.instrs[b.pos:end]
+	b.pos = end
+	return out
+}
+
+func longWarmTrace() []trace.Instr {
+	var instrs []trace.Instr
+	for i := 0; i < 8; i++ {
+		base := uint64(i) * 0x2000
+		instrs = append(instrs,
+			trace.Instr{PC: 0x1000 + base, Kind: trace.Load, Addr: 0xa000 + base},
+			trace.Instr{PC: 0x1004 + base, Kind: trace.Load, Addr: 0xa008 + base}, // same line: memoised
+			trace.Instr{PC: 0x1008 + base, Kind: trace.Store, Addr: 0xa010 + base},
+			trace.Instr{PC: 0x1040 + base, Kind: trace.Store, Addr: 0xa018 + base}, // same dirty line: memoised
+			trace.Instr{PC: 0x1044 + base, Kind: trace.Branch, Taken: i%2 == 0},
+			trace.Instr{PC: 0x1048 + base, Kind: trace.Op},
+		)
+	}
+	return instrs
+}
+
+func TestWarmerBatchMatchesScalar(t *testing.T) {
+	instrs := longWarmTrace()
+	for _, n := range []uint64{1, 5, 17, uint64(len(instrs))} {
+		scalar, batch := &recordOps{}, &recordOps{}
+		sc, se := (&Warmer{Ops: scalar}).Run(trace.NewSliceReader(instrs), n)
+		bc, be := (&Warmer{Ops: batch}).Run(&batchSlice{instrs: instrs}, n)
+		if sc != bc || se != be {
+			t.Fatalf("n=%d: scalar Run = (%d, %v), batch Run = (%d, %v)", n, sc, se, bc, be)
+		}
+		if !reflect.DeepEqual(scalar, batch) {
+			t.Fatalf("n=%d: warm streams diverge:\nscalar %+v\nbatch  %+v", n, scalar, batch)
+		}
+	}
+}
+
+func TestWarmerBatchEndAndReplay(t *testing.T) {
+	instrs := longWarmTrace()
+	total := uint64(len(instrs))
+
+	consumed, ended := (&Warmer{Ops: &recordOps{}}).Run(&batchSlice{instrs: instrs}, total+10)
+	if consumed != total || !ended {
+		t.Fatalf("Run = (%d, %v), want (%d, true) without replay", consumed, ended, total)
+	}
+
+	consumed, ended = (&Warmer{Ops: &recordOps{}, Replay: true}).Run(&batchSlice{instrs: instrs}, total+10)
+	if consumed != total+10 || ended {
+		t.Fatalf("Run = (%d, %v), want (%d, false) with replay", consumed, ended, total+10)
+	}
+
+	// An empty trace must terminate even under Replay: Reset cannot conjure
+	// instructions, so the warmer reports the end instead of spinning.
+	consumed, ended = (&Warmer{Ops: &recordOps{}, Replay: true}).Run(&batchSlice{}, 5)
+	if consumed != 0 || !ended {
+		t.Fatalf("empty-trace Run = (%d, %v), want (0, true)", consumed, ended)
+	}
+}

@@ -14,7 +14,7 @@ import (
 // serialised metrics snapshot.
 func snapshotBytes(t *testing.T, name string) []byte {
 	t.Helper()
-	return runGolden(t, name)
+	return runGolden(t, goldenConfig(), name)
 }
 
 // TestSnapshotDeterminism locks the property the golden suite depends on:

@@ -50,11 +50,26 @@ func goldenConfig() Config {
 	return cfg
 }
 
+// sampledGoldenConfig fingerprints the sampled execution mode: a budget a
+// few periods long, so the snapshot pins the interval plan (segment count,
+// warm/measured split) alongside every simulator counter. Any change to
+// interval placement, warm semantics or ramp exclusion moves these files.
+func sampledGoldenConfig() Config {
+	cfg := goldenConfig()
+	cfg.SimInstrs = 100_000
+	cfg.Sample = SampleConfig{Enabled: true}
+	return cfg
+}
+
 func goldenPath(name string) string {
 	return filepath.Join("testdata", "golden", name+".json")
 }
 
-func runGolden(t *testing.T, name string) []byte {
+func sampledGoldenPath(name string) string {
+	return filepath.Join("testdata", "golden", "sampled", name+".json")
+}
+
+func runGolden(t *testing.T, cfg Config, name string) []byte {
 	t.Helper()
 	w, ok := trace.ByName(name)
 	if !ok {
@@ -64,7 +79,7 @@ func runGolden(t *testing.T, name string) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sys, err := RunTraceSystem(context.Background(), goldenConfig(), w.Name, w.Suite, reader)
+	_, sys, err := RunTraceSystem(context.Background(), cfg, w.Name, w.Suite, reader)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,6 +90,38 @@ func runGolden(t *testing.T, name string) []byte {
 	return buf.Bytes()
 }
 
+// compareGolden diffs got against the committed fingerprint at path,
+// rewriting it under -update.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	wantSnap, werr := metrics.ParseSnapshot(want)
+	gotSnap, gerr := metrics.ParseSnapshot(got)
+	if werr != nil || gerr != nil {
+		t.Fatalf("snapshot drifted and could not diff (golden: %v, current: %v)", werr, gerr)
+	}
+	for _, d := range metrics.Diff(wantSnap, gotSnap) {
+		t.Errorf("%s", d)
+	}
+	t.Fatalf("metrics snapshot drifted from %s; review the per-counter diff above and accept deliberate changes with -update", path)
+}
+
 // TestGoldenSnapshots compares the full metrics snapshot of each golden
 // workload against its committed fingerprint. Any behavioural change in the
 // simulator shows up as a readable per-counter diff; deliberate changes are
@@ -82,34 +129,19 @@ func runGolden(t *testing.T, name string) []byte {
 func TestGoldenSnapshots(t *testing.T) {
 	for _, name := range goldenWorkloads {
 		t.Run(name, func(t *testing.T) {
-			got := runGolden(t, name)
-			path := goldenPath(name)
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("wrote %s (%d bytes)", path, len(got))
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden file (regenerate with -update): %v", err)
-			}
-			if bytes.Equal(got, want) {
-				return
-			}
-			wantSnap, werr := metrics.ParseSnapshot(want)
-			gotSnap, gerr := metrics.ParseSnapshot(got)
-			if werr != nil || gerr != nil {
-				t.Fatalf("snapshot drifted and could not diff (golden: %v, current: %v)", werr, gerr)
-			}
-			for _, d := range metrics.Diff(wantSnap, gotSnap) {
-				t.Errorf("%s", d)
-			}
-			t.Fatalf("metrics snapshot drifted from %s; review the per-counter diff above and accept deliberate changes with -update", path)
+			compareGolden(t, goldenPath(name), runGolden(t, goldenConfig(), name))
+		})
+	}
+}
+
+// TestGoldenSnapshotsSampled is the sampled-mode twin of TestGoldenSnapshots:
+// the same workloads run under the default interval-sampling schedule, so
+// the fast mode has its own committed fingerprint and `make golden` covers
+// both execution modes.
+func TestGoldenSnapshotsSampled(t *testing.T) {
+	for _, name := range goldenWorkloads {
+		t.Run(name, func(t *testing.T) {
+			compareGolden(t, sampledGoldenPath(name), runGolden(t, sampledGoldenConfig(), name))
 		})
 	}
 }

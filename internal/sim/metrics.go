@@ -65,6 +65,11 @@ func (s *System) registerMetrics(ownLLC, ownDRAM bool) {
 	}
 
 	s.mEpochs = r.Counter("sim.epochs")
+	if s.cfg.Sample.Enabled {
+		s.mSampleSegments = r.Counter("sample.segments")
+		s.mSampleWarmInstrs = r.Counter("sample.warm_instrs")
+		s.mSampleMeasuredInstrs = r.Counter("sample.measured_instrs")
+	}
 	if s.Tracer != nil {
 		s.Tracer.RegisterMetrics(r, "trace")
 	}

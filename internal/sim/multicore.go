@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/sample"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -90,11 +91,32 @@ func (m *MultiSystem) RunMix(ctx context.Context, mix []trace.Workload) ([]*stat
 			return nil, &RunError{Workload: w.Name, Stage: "setup", Err: err}
 		}
 		readers[i] = m.cfg.PerCore.FaultInject.WrapReader(r)
-		m.Systems[i].Core.Attach(readers[i], m.cfg.PerCore.WarmupInstrs)
 	}
 	wd := newMultiWatchdog(m)
-	if err := m.interleave(ctx, wd); err != nil {
-		return nil, err
+	if sc := m.cfg.PerCore.Sample; sc.Enabled {
+		// Sampled multi-core runs replace the detailed warmup interleave
+		// with per-core functional warmup: TLBs, private caches and the
+		// shared LLC reach the same residency state at a fraction of the
+		// cost. The measured phase stays fully detailed — per-core interval
+		// gaps cannot be aligned across cores without distorting the
+		// shared-LLC/DRAM contention the mix exists to measure.
+		if err := sc.Validate(); err != nil {
+			return nil, &RunError{Workload: mix[0].Name, Stage: "setup", Err: err}
+		}
+		for i := range mix {
+			warmer := &sample.Warmer{Ops: m.Systems[i], Replay: true}
+			if _, err := m.Systems[i].warm(ctx, warmer, readers[i], m.cfg.PerCore.WarmupInstrs); err != nil {
+				return nil, &RunError{Workload: mix[i].Name, Stage: "warmup", Err: err}
+			}
+			m.Systems[i].gapReset()
+		}
+	} else {
+		for i := range mix {
+			m.Systems[i].Core.Attach(readers[i], m.cfg.PerCore.WarmupInstrs)
+		}
+		if err := m.interleave(ctx, wd); err != nil {
+			return nil, err
+		}
 	}
 	for _, sys := range m.Systems {
 		sys.ResetStats()

@@ -107,6 +107,13 @@ type Config struct {
 	// (see CheckConfig); its zero value disables checking at zero hot-path
 	// cost.
 	Check CheckConfig
+
+	// Sample enables interval-sampled simulation: measured intervals of
+	// detailed execution separated by functional-warmup gaps (see
+	// internal/sample). Its zero value — sampling disabled — selects full
+	// detailed simulation. Sampling parameters are part of the campaign
+	// engine's content-address key, so sampled and full results never alias.
+	Sample SampleConfig
 }
 
 // WatchdogConfig bounds a run's forward progress. A simulated core that
@@ -195,6 +202,13 @@ type System struct {
 	L1IPf  prefetch.Prefetcher
 	Policy core.Policy
 
+	// Devirtualized Train dispatch (prefetch.TrainFunc): the per-access hot
+	// paths call these method values instead of the Prefetcher interface.
+	// nil exactly when the corresponding engine is nil.
+	l1dTrain func(prefetch.Access) []prefetch.Candidate
+	l1iTrain func(prefetch.Access) []prefetch.Candidate
+	l2cTrain func(prefetch.Access) []prefetch.Candidate
+
 	// Metrics is the unified registry every component reports through; see
 	// registerMetrics. Tracer is non-nil only when Config.TraceCapacity > 0.
 	Metrics *metrics.Registry
@@ -207,6 +221,13 @@ type System struct {
 	mL2CCandidates *metrics.Counter
 	mDegreeHist    *metrics.Histogram
 	mEpochs        *metrics.Counter
+
+	// Sampling accounting, registered (and non-nil) only when sampling is
+	// enabled, so full-simulation metric snapshots are byte-identical with
+	// and without the sampling subsystem compiled in.
+	mSampleSegments       *metrics.Counter
+	mSampleWarmInstrs     *metrics.Counter
+	mSampleMeasuredInstrs *metrics.Counter
 
 	// Demand history for the filter's Input.
 	prevVA1, prevVA2 uint64
@@ -399,6 +420,9 @@ func newSystem(cfg Config, sharedLLC *cache.Cache, sharedDRAM *dram.DRAM) (*Syst
 	if s.Policy, err = newPolicy(cfg); err != nil {
 		return nil, err
 	}
+	s.l1dTrain = prefetch.TrainFunc(s.L1DPf)
+	s.l1iTrain = prefetch.TrainFunc(s.L1IPf)
+	s.l2cTrain = prefetch.TrainFunc(s.L2CPf)
 
 	// L1D hooks feed the filter's training (Fig. 7).
 	s.L1D.OnDemandMiss = func(req *cache.Request) {
@@ -470,7 +494,7 @@ func (a *l2Adapter) Access(req *cache.Request, cycle uint64) uint64 {
 	ready := s.L2C.Access(req, cycle)
 	if req.Type.IsDemand() && req.Type != mem.InstrFetch {
 		hit := s.L2C.Stats.DemandMisses == missesBefore
-		cands := s.L2CPf.Train(prefetch.Access{
+		cands := s.l2cTrain(prefetch.Access{
 			Addr: uint64(req.PA), PC: uint64(req.PC), Cycle: cycle, Hit: hit,
 		})
 		s.mL2CCandidates.Add(uint64(len(cands)))
@@ -485,6 +509,12 @@ func (a *l2Adapter) Access(req *cache.Request, cycle uint64) uint64 {
 	return ready
 }
 
+// Warm implements the cache package's functional-warm cascade: the adapter
+// sits between L1D and L2C as a cache.Level, so without this forwarding the
+// warm cascade would stop at the adapter and leave L2C (and the levels
+// below) cold across sampling gaps. Warm accesses train no prefetcher.
+func (a *l2Adapter) Warm(pa mem.PAddr, store bool) { a.sys.L2C.Warm(pa, store) }
+
 // fetch is the instruction port: iTLB + L1I (+ next-line prefetch).
 func (s *System) fetch(pc uint64, cycle uint64) uint64 {
 	res := s.MMU.TranslateInstr(mem.VAddr(pc), cycle)
@@ -492,8 +522,8 @@ func (s *System) fetch(pc uint64, cycle uint64) uint64 {
 	s.fetchReq = cache.Request{PA: pa, VA: mem.VAddr(pc), PC: mem.VAddr(pc), Type: mem.InstrFetch}
 	ready := s.L1I.Access(&s.fetchReq, res.Ready)
 
-	if s.L1IPf != nil {
-		icands := s.L1IPf.Train(prefetch.Access{Addr: pc, PC: pc, Cycle: cycle})
+	if s.l1iTrain != nil {
+		icands := s.l1iTrain(prefetch.Access{Addr: pc, PC: pc, Cycle: cycle})
 		s.mL1ICandidates.Add(uint64(len(icands)))
 		for _, c := range icands {
 			if c.CrossesPage(pc) {
@@ -540,12 +570,12 @@ func (s *System) demandAccess(pc, va uint64, cycle uint64, kind mem.AccessType) 
 		s.seenPages[page] = struct{}{}
 	}
 
-	if s.L1DPf != nil {
+	if s.l1dTrain != nil {
 		if !hit {
 			s.L1DPf.FillLatency(ready - cycle)
 		}
 		s.mL1DTrains.Inc()
-		cands := s.L1DPf.Train(prefetch.Access{Addr: va, PC: pc, Cycle: cycle, Hit: hit})
+		cands := s.l1dTrain(prefetch.Access{Addr: va, PC: pc, Cycle: cycle, Hit: hit})
 		s.mL1DCandidates.Add(uint64(len(cands)))
 		s.issuePrefetches(pc, va, !seen, res.Translation.Kind, cands, cycle)
 	}
@@ -701,7 +731,7 @@ func (s *System) epoch(cycle, retired uint64) {
 // ResetStats zeroes all statistics (after warmup) while preserving
 // microarchitectural state.
 func (s *System) ResetStats() {
-	*s.Core.Stats = stats.CoreStats{}
+	s.Core.ResetStats()
 	*s.L1I.Stats = stats.CacheStats{}
 	*s.L1D.Stats = stats.CacheStats{}
 	*s.L2C.Stats = stats.CacheStats{}
@@ -785,6 +815,12 @@ func RunWorkload(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run,
 	if err != nil {
 		return nil, &RunError{Workload: w.Name, Stage: "setup", Err: err}
 	}
+	// Interval placement derives from the workload's own generator seed when
+	// the sample config does not pin one: deterministic per workload, with
+	// no global RNG anywhere in the chain.
+	if cfg.Sample.Enabled && cfg.Sample.Seed == 0 && w.Config.Seed != 0 {
+		cfg.Sample.Seed = w.Config.Seed
+	}
 	return RunTrace(ctx, cfg, w.Name, w.Suite, reader)
 }
 
@@ -827,6 +863,10 @@ func RunTraceSystem(ctx context.Context, cfg Config, name, suite string, reader 
 		return nil, nil, &RunError{Workload: name, Stage: "build", Err: err}
 	}
 	reader = cfg.FaultInject.WrapReader(reader)
+	if cfg.Sample.Enabled {
+		run, err := sys.runSampled(ctx, name, suite, reader)
+		return run, sys, err
+	}
 	if cfg.WarmupInstrs > 0 {
 		sys.Core.Attach(reader, cfg.WarmupInstrs)
 		if err := sys.Run(ctx); err != nil {

@@ -1,0 +1,33 @@
+package stats
+
+import "reflect"
+
+// AddDelta accumulates (after − before) into dst over every uint64 counter
+// reachable in a Run, walking nested stat structs reflectively so new
+// counters are covered automatically. The interval sampler uses it to build
+// the excluded-ramp total: detailed ramp work must warm state but never
+// reach the measured statistics, so each ramp's counter delta is collected
+// here and subtracted from the final Run (Sub).
+func AddDelta(dst, after, before *Run) {
+	walkUint64(reflect.ValueOf(dst).Elem(), reflect.ValueOf(after).Elem(), reflect.ValueOf(before).Elem(),
+		func(d, a, b *uint64) { *d += *a - *b })
+}
+
+// Sub subtracts excluded from dst over every uint64 counter in a Run.
+func Sub(dst, excluded *Run) {
+	walkUint64(reflect.ValueOf(dst).Elem(), reflect.ValueOf(excluded).Elem(), reflect.ValueOf(excluded).Elem(),
+		func(d, a, _ *uint64) { *d -= *a })
+}
+
+// walkUint64 applies fn to every addressable uint64 field triple at the
+// same position in three structurally identical values.
+func walkUint64(dst, a, b reflect.Value, fn func(d, x, y *uint64)) {
+	switch dst.Kind() {
+	case reflect.Struct:
+		for i := 0; i < dst.NumField(); i++ {
+			walkUint64(dst.Field(i), a.Field(i), b.Field(i), fn)
+		}
+	case reflect.Uint64:
+		fn(dst.Addr().Interface().(*uint64), a.Addr().Interface().(*uint64), b.Addr().Interface().(*uint64))
+	}
+}

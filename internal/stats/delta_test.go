@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddDeltaAndSub(t *testing.T) {
+	before := &Run{}
+	before.Core.Instructions = 100
+	before.L1D.DemandMisses = 5
+	before.PTW.Walks = 2
+
+	after := &Run{}
+	after.Core.Instructions = 160
+	after.L1D.DemandMisses = 9
+	after.PTW.Walks = 7
+
+	excluded := &Run{}
+	AddDelta(excluded, after, before)
+	if excluded.Core.Instructions != 60 || excluded.L1D.DemandMisses != 4 || excluded.PTW.Walks != 5 {
+		t.Fatalf("AddDelta = %+v", excluded)
+	}
+	// Accumulation across ramps.
+	AddDelta(excluded, after, before)
+	if excluded.Core.Instructions != 120 {
+		t.Fatalf("second AddDelta did not accumulate: %d", excluded.Core.Instructions)
+	}
+
+	final := &Run{}
+	final.Core.Instructions = 500
+	final.L1D.DemandMisses = 50
+	final.PTW.Walks = 20
+	Sub(final, excluded)
+	if final.Core.Instructions != 380 || final.L1D.DemandMisses != 42 || final.PTW.Walks != 10 {
+		t.Fatalf("Sub = %+v", final)
+	}
+	if final.Workload != "" || final.Suite != "" {
+		t.Fatal("string fields must be untouched")
+	}
+}
+
+// TestDeltaCoversEveryCounter guards the reflective walk against a struct
+// reshape that silently drops counters: every uint64 in a Run filled with a
+// sentinel must be reached.
+func TestDeltaCoversEveryCounter(t *testing.T) {
+	after := &Run{}
+	fillOnes(t, after)
+	got := &Run{}
+	AddDelta(got, after, &Run{})
+	if *got != *after {
+		t.Fatalf("AddDelta missed counters:\n got %+v\nwant %+v", *got, *after)
+	}
+}
+
+// fillOnes sets every uint64 field of r to 1 with an independent reflective
+// sweep (not walkUint64, which is under test).
+func fillOnes(t *testing.T, r *Run) {
+	t.Helper()
+	var fill func(v reflect.Value)
+	fill = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				fill(v.Field(i))
+			}
+		case reflect.Uint64:
+			v.SetUint(1)
+		}
+	}
+	fill(reflect.ValueOf(r).Elem())
+}

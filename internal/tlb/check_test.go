@@ -62,6 +62,9 @@ func TestCheckInvariants(t *testing.T) {
 					for wj := range tl.sets[si] {
 						if wj != wi && !tl.sets[si][wj].valid {
 							tl.sets[si][wj] = *e
+							// Keep the packed key mirror coherent so the
+							// duplicate check, not the desync sweep, fires.
+							tl.keys[si*tl.cfg.Ways+wj] = tl.keys[si*tl.cfg.Ways+wi]
 							dup = true
 							break
 						}
@@ -73,6 +76,22 @@ func TestCheckInvariants(t *testing.T) {
 			t.Fatal("could not duplicate the entry")
 		}
 		if err := tl.CheckInvariants(resolve); err == nil || !strings.HasPrefix(err.Error(), "tlb-duplicate-entry:") {
+			t.Fatalf("CheckInvariants = %v", err)
+		}
+	})
+	t.Run("tlb-key-desync", func(t *testing.T) {
+		tl := newTLB(t, 4, 4)
+		va := mapPage(0x900, mem.PAddr(0xa00<<mem.PageBits))
+		tl.Insert(va, table[0x900], false)
+		// Mutate the entry behind the packed key mirror's back.
+		for si := range tl.sets {
+			for wi := range tl.sets[si] {
+				if tl.sets[si][wi].valid {
+					tl.sets[si][wi].vpn ^= 1
+				}
+			}
+		}
+		if err := tl.CheckInvariants(resolve); err == nil || !strings.HasPrefix(err.Error(), "tlb-key-desync:") {
 			t.Fatalf("CheckInvariants = %v", err)
 		}
 	})

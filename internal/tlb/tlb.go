@@ -46,10 +46,20 @@ type entry struct {
 	prefetch bool // filled by a page-cross prefetch walk
 }
 
+// packKey packs a (VPN, page-size kind) pair with a valid bit into one
+// word. The flat keys array mirrors the entries struct-of-arrays style so
+// the associative scan in find touches one contiguous cache line per set
+// instead of striding across 40-byte entry records. Key 0 (valid bit clear)
+// never matches a probe, so empty ways need no separate validity check.
+func packKey(vpn uint64, kind mem.PageSizeKind) uint64 {
+	return vpn<<2 | uint64(kind)<<1 | 1
+}
+
 // TLB is one translation cache level.
 type TLB struct {
 	cfg   Config
 	sets  [][]entry
+	keys  []uint64 // packed (vpn, kind, valid) per way, mirrors sets
 	clock uint64
 	// Stats uses the shared cache-stats vocabulary: demand accesses/misses
 	// give MPKI and miss rate; prefetch fills/useful track pollution.
@@ -72,34 +82,42 @@ func New(cfg Config) (*TLB, error) {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &TLB{cfg: cfg, sets: sets, Stats: &stats.CacheStats{}}, nil
+	return &TLB{
+		cfg:   cfg,
+		sets:  sets,
+		keys:  make([]uint64, cfg.Sets*cfg.Ways),
+		Stats: &stats.CacheStats{},
+	}, nil
 }
 
 // Config returns the configuration.
 func (t *TLB) Config() Config { return t.cfg }
 
-func (t *TLB) set4K(va mem.VAddr) []entry {
-	return t.sets[va.PageID()&uint64(t.cfg.Sets-1)]
+// keyRow returns the packed-key slice of one set.
+func (t *TLB) keyRow(si uint64) []uint64 {
+	base := si * uint64(t.cfg.Ways)
+	return t.keys[base : base+uint64(t.cfg.Ways)]
 }
 
-func (t *TLB) set2M(va mem.VAddr) []entry {
-	return t.sets[va.LargePageID()&uint64(t.cfg.Sets-1)]
-}
-
-// find locates the matching entry for va, checking both page sizes.
+// find locates the matching entry for va, checking both page sizes. The
+// scan runs over the packed key array; the keys are kept in exact sync with
+// the entries by insert and Flush, so a key match needs no re-validation.
 func (t *TLB) find(va mem.VAddr) *entry {
-	set := t.set4K(va)
+	mask := uint64(t.cfg.Sets - 1)
 	vpn := va.PageID()
-	for i := range set {
-		if set[i].valid && set[i].kind == mem.Page4K && set[i].vpn == vpn {
-			return &set[i]
+	si := vpn & mask
+	want := packKey(vpn, mem.Page4K)
+	for i, k := range t.keyRow(si) {
+		if k == want {
+			return &t.sets[si][i]
 		}
 	}
-	set = t.set2M(va)
 	vpn = va.LargePageID()
-	for i := range set {
-		if set[i].valid && set[i].kind == mem.Page2M && set[i].vpn == vpn {
-			return &set[i]
+	si = vpn & mask
+	want = packKey(vpn, mem.Page2M)
+	for i, k := range t.keyRow(si) {
+		if k == want {
+			return &t.sets[si][i]
 		}
 	}
 	return nil
@@ -139,16 +157,32 @@ func (t *TLB) Probe(va mem.VAddr) bool { return t.find(va) != nil }
 // Insert fills a translation. fromPrefetch marks fills caused by page-cross
 // prefetch walks so that TLB pollution is attributable.
 func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
-	var set []entry
-	var vpn uint64
+	t.insert(va, tr, fromPrefetch, false)
+}
+
+// InsertQuiet fills a translation without touching any statistics or the
+// fault-injection insert counter. The sampled simulator's functional-warmup
+// gaps use it: TLB state must track the skipped instructions, but the
+// frozen measurement counters must not observe the warm traffic.
+func (t *TLB) InsertQuiet(va mem.VAddr, tr vmem.Translation) {
+	t.insert(va, tr, false, true)
+}
+
+func (t *TLB) insert(va mem.VAddr, tr vmem.Translation, fromPrefetch, quiet bool) {
+	var si, vpn uint64
+	mask := uint64(t.cfg.Sets - 1)
 	if tr.Kind == mem.Page2M {
-		set, vpn = t.set2M(va), va.LargePageID()
+		vpn = va.LargePageID()
 	} else {
-		set, vpn = t.set4K(va), va.PageID()
+		vpn = va.PageID()
 	}
+	si = vpn & mask
+	set := t.sets[si]
+	keys := t.keyRow(si)
 	victim := -1
-	for i := range set {
-		if set[i].valid && set[i].kind == tr.Kind && set[i].vpn == vpn {
+	want := packKey(vpn, tr.Kind)
+	for i, k := range keys {
+		if k == want {
 			victim = i // refresh the existing entry in place
 			break
 		}
@@ -167,7 +201,7 @@ func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
 		}
 	}
 	e := &set[victim]
-	if e.valid && (e.kind != tr.Kind || e.vpn != vpn) {
+	if !quiet && e.valid && (e.kind != tr.Kind || e.vpn != vpn) {
 		t.Stats.Evictions++
 		if e.prefetch {
 			t.Stats.UselessPrefetches++
@@ -175,12 +209,14 @@ func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
 	}
 	t.clock++
 	base := tr.Base
-	t.inserts++
-	if n := t.staleEveryN; n > 0 && t.inserts%n == 0 {
-		// Injected stale PTE: the cached frame no longer matches the page
-		// table. The XOR keeps the base page-aligned and in-bounds for any
-		// power-of-two memory ≥ 1GB, so only the checker notices.
-		base ^= mem.PAddr(0x3F << mem.PageBits)
+	if !quiet {
+		t.inserts++
+		if n := t.staleEveryN; n > 0 && t.inserts%n == 0 {
+			// Injected stale PTE: the cached frame no longer matches the page
+			// table. The XOR keeps the base page-aligned and in-bounds for any
+			// power-of-two memory ≥ 1GB, so only the checker notices.
+			base ^= mem.PAddr(0x3F << mem.PageBits)
+		}
 	}
 	*e = entry{
 		valid:    true,
@@ -190,7 +226,8 @@ func (t *TLB) Insert(va mem.VAddr, tr vmem.Translation, fromPrefetch bool) {
 		lru:      t.clock,
 		prefetch: fromPrefetch,
 	}
-	if fromPrefetch {
+	keys[victim] = want
+	if !quiet && fromPrefetch {
 		t.Stats.PrefetchFills++
 	}
 }
@@ -239,6 +276,23 @@ func (t *TLB) VisitEntries(fn func(Entry)) {
 // It returns the first violation found, nil when clean. resolve must be
 // side-effect free.
 func (t *TLB) CheckInvariants(resolve func(mem.VAddr) (vmem.Translation, bool)) error {
+	// The packed key array must mirror the entry array exactly; a desync
+	// would make find and Insert disagree about residency.
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			e := &t.sets[si][wi]
+			k := t.keys[si*t.cfg.Ways+wi]
+			if !e.valid {
+				if k != 0 {
+					return fmt.Errorf("tlb-key-desync: %s set %d way %d holds key %#x for an invalid entry", t.cfg.Name, si, wi, k)
+				}
+				continue
+			}
+			if want := packKey(e.vpn, e.kind); k != want {
+				return fmt.Errorf("tlb-key-desync: %s set %d way %d key %#x does not match entry key %#x", t.cfg.Name, si, wi, k, want)
+			}
+		}
+	}
 	seen := make(map[uint64]struct{}, t.cfg.Sets*t.cfg.Ways)
 	var err error
 	t.VisitEntries(func(e Entry) {
@@ -285,5 +339,8 @@ func (t *TLB) Flush() {
 		for wi := range t.sets[si] {
 			t.sets[si][wi].valid = false
 		}
+	}
+	for i := range t.keys {
+		t.keys[i] = 0
 	}
 }

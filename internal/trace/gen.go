@@ -204,6 +204,24 @@ func (g *Gen) Next() (Instr, bool) {
 	return in, true
 }
 
+// NextBatch implements BatchReader: it hands out the buffered remainder of
+// the current synthesised iteration (up to max) without per-instruction
+// copies. The generator is endless, so the batch is never empty.
+func (g *Gen) NextBatch(max int) []Instr {
+	if g.pendingPos >= len(g.pending) {
+		g.pending = g.pending[:0]
+		g.pendingPos = 0
+		g.refill()
+	}
+	b := g.pending[g.pendingPos:]
+	if len(b) > max {
+		b = b[:max]
+	}
+	g.pendingPos += len(b)
+	g.emitted += uint64(len(b))
+	return b
+}
+
 // refill synthesises one loop iteration: compute ops, the memory access,
 // and the loop branch.
 func (g *Gen) refill() {

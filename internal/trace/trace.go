@@ -59,6 +59,17 @@ type Reader interface {
 	Reset()
 }
 
+// BatchReader is an optional Reader extension: NextBatch returns up to max
+// already-buffered instructions, all of which count as consumed, and an
+// empty slice at end of trace (Next's ok=false). Consumers that only scan
+// instructions — the functional warmer fast-forwarding a sampling gap — use
+// it to drop a call and a copy per instruction; interleaving NextBatch with
+// Next is allowed and observes the same stream.
+type BatchReader interface {
+	Reader
+	NextBatch(max int) []Instr
+}
+
 // --- Binary trace format -------------------------------------------------
 
 // magic identifies the trace file format.

@@ -298,26 +298,52 @@ func (as *AddressSpace) Walk(va mem.VAddr) ([]WalkStep, Translation) {
 
 // WalkInto is Walk appending into the caller's buffer (which may be nil or a
 // truncated scratch slice); the hardware walker reuses one buffer across
-// walks so the per-walk step list costs no allocation.
+// walks so the per-walk step list costs no allocation. The descent maps the
+// page on first touch and emits the step list in one pass — the walker calls
+// this on every TLB miss, and a separate translate-then-rewalk would double
+// the radix map lookups on the hottest translation path.
 func (as *AddressSpace) WalkInto(buf []WalkStep, va mem.VAddr) ([]WalkStep, Translation) {
-	tr, _ := as.translate(va) // ensure the path exists
+	large := as.wantsLargePage(va)
 	depth := NumLevels
-	if tr.Kind == mem.Page2M {
+	if large {
 		depth = LevelPD + 1
 	}
 	steps := buf[:0]
 	node := as.root
-	for level := 0; level < depth; level++ {
+	for level := 0; level < depth-1; level++ {
 		idx := levelIndex(va, level)
 		steps = append(steps, WalkStep{
 			Level: level,
 			PA:    node.framePA + mem.PAddr(idx*entryBytes),
 		})
-		if level < depth-1 {
-			node = node.children[idx]
+		child, ok := node.children[idx]
+		if !ok {
+			child = as.newTable()
+			node.children[idx] = child
 		}
+		node = child
 	}
-	return steps, tr
+	idx := levelIndex(va, depth-1)
+	steps = append(steps, WalkStep{
+		Level: depth - 1,
+		PA:    node.framePA + mem.PAddr(idx*entryBytes),
+	})
+	base, existed := node.leaves[idx]
+	if !existed {
+		if large {
+			base = as.alloc2M()
+			as.mapped2M++
+		} else {
+			base = as.alloc4K()
+			as.mapped4K++
+		}
+		node.leaves[idx] = base
+	}
+	kind := mem.Page4K
+	if large {
+		kind = mem.Page2M
+	}
+	return steps, Translation{Base: base, Kind: kind}
 }
 
 // Stats reports allocation state.

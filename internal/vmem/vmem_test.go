@@ -215,3 +215,64 @@ func TestLevelIndexDecomposition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLookupNeverMaps(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 30, LargePages: true, LargePageFraction: 0.5, Seed: 3})
+	va4k := mem.VAddr(0x1111_2222_3000)
+	va2m := va4k
+	for i := 0; as.wantsLargePage(va2m) == as.wantsLargePage(va4k); i++ {
+		if i > 1000 {
+			t.Fatal("no differing large-page region within 1000 candidates")
+		}
+		va2m += 1 << 21
+	}
+	if as.wantsLargePage(va4k) {
+		va4k, va2m = va2m, va4k
+	}
+
+	for _, va := range []mem.VAddr{va4k, va2m} {
+		if _, ok := as.Lookup(va); ok {
+			t.Fatalf("Lookup(%#x) found a mapping before first touch", uint64(va))
+		}
+		before := as.Stats()
+		if _, ok := as.Lookup(va); ok || as.Stats() != before {
+			t.Fatalf("Lookup(%#x) mutated the address space", uint64(va))
+		}
+		want := as.Translate(va)
+		got, ok := as.Lookup(va)
+		if !ok || got != want {
+			t.Fatalf("Lookup(%#x) = (%+v, %v) after Translate, want (%+v, true)",
+				uint64(va), got, ok, want)
+		}
+	}
+	if tr, _ := as.Lookup(va2m); tr.Kind != mem.Page2M {
+		t.Fatalf("large-page Lookup kind = %v, want Page2M", tr.Kind)
+	}
+	// A sibling 4K page under an already-populated upper level must still
+	// miss at the leaf, not just at the root.
+	if _, ok := as.Lookup(va4k + (1 << mem.PageBits)); ok {
+		t.Fatal("Lookup found the untouched sibling page")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	as := newAS(t, Config{MemBytes: 1 << 28})
+	if got := as.MemBytes(); got != 1<<28 {
+		t.Fatalf("MemBytes = %d, want %d", got, 1<<28)
+	}
+	va := mem.VAddr(0x0ead_beef_f000)
+	for level := 0; level < NumLevels; level++ {
+		if got, want := LevelIndex(va, level), levelIndex(va, level); got != want {
+			t.Fatalf("LevelIndex(%d) = %d, want %d", level, got, want)
+		}
+	}
+	names := map[int]string{LevelPML5: "PML5", LevelPML4: "PML4", LevelPDPT: "PDPT", LevelPD: "PD", LevelPT: "PT"}
+	for level, want := range names {
+		if got := LevelName(level); got != want {
+			t.Fatalf("LevelName(%d) = %q, want %q", level, got, want)
+		}
+	}
+	if got := LevelName(NumLevels); got == "" {
+		t.Fatal("out-of-range LevelName returned empty string")
+	}
+}

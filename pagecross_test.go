@@ -96,3 +96,90 @@ func TestFacadeSelection(t *testing.T) {
 		t.Fatalf("selected %v", res.Selected)
 	}
 }
+
+func TestFacadeCampaign(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 2_000
+	cfg.SimInstrs = 5_000
+	w, ok := WorkloadByName("spec.stream_s00")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	base := cfg
+	base.Policy = PolicyDiscard
+	drip := cfg
+	drip.Policy = PolicyDripper
+
+	baseKey, err := CacheKeyOf(base, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dripKey, err := CacheKeyOf(drip, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseKey == dripKey {
+		t.Fatal("distinct policies share a cache key")
+	}
+
+	spec := CampaignSpec{Name: "facade", Cells: []CampaignCell{
+		{ID: "base", Config: base, Workload: w},
+		{ID: "drip", Config: drip, Workload: w, After: []string{"base"}},
+	}}
+	dir := t.TempDir()
+	opts := []CampaignOption{
+		WithCache(dir + "/cache"),
+		WithWorkers(2),
+		WithResume(dir + "/manifest.jsonl"),
+	}
+
+	rep, err := RunCampaign(context.Background(), spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() || rep.Simulated != 2 {
+		t.Fatalf("cold campaign: complete=%v simulated=%d failures=%v",
+			rep.Complete(), rep.Simulated, rep.Failures)
+	}
+	sp := Speedup(rep.Runs["drip"], rep.Runs["base"])
+	if sp <= 0 {
+		t.Fatalf("Speedup = %g", sp)
+	}
+
+	// Warm re-run: the content-addressed cache must answer every cell.
+	rep2, err := RunCampaign(context.Background(), spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Simulated != 0 || rep2.CacheHits+rep2.Resumed != rep2.Total {
+		t.Fatalf("warm campaign still simulated: %+v", rep2)
+	}
+	if got := Speedup(rep2.Runs["drip"], rep2.Runs["base"]); got != sp {
+		t.Fatalf("cached speedup %g != simulated speedup %g", got, sp)
+	}
+}
+
+func TestFacadeFilterSnapshotRoundTrip(t *testing.T) {
+	f, err := NewFilter(DripperConfig("berti"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeFilterSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFilter(DripperConfig("berti"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFilterSnapshot([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot decoded")
+	}
+}
