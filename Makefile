@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check cover bench bench-json campaign golden diff fuzz soak daemon-e2e
+.PHONY: build test race vet check cover bench bench-json campaign golden wdl-golden diff fuzz soak daemon-e2e
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,13 @@ daemon-e2e:
 golden:
 	$(GO) test ./internal/sim -run TestGolden -update
 
+# wdl-golden re-records the WDL corpus: the canonical .wdl file for every
+# generator family (emitted by the printer) and the compiled-config JSON each
+# must produce. The differential suite then re-proves every file compiles to
+# a byte-identical instruction stream.
+wdl-golden:
+	$(GO) test ./internal/wdl -run TestWDLGolden -update
+
 # diff runs the differential sim-vs-oracle suite: clean runs across every
 # policy and family, both injected acceptance bugs (MSHR leak, stale PTE)
 # with shrinking + repro replay, and the -race multicore sweep.
@@ -83,6 +90,8 @@ fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSimVsOracle -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzTraceStream -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/campaign -run '^$$' -fuzz FuzzSampledVsFull -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wdl -run '^$$' -fuzz FuzzWDLParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wdl -run '^$$' -fuzz FuzzWDLRoundTrip -fuzztime $(FUZZTIME)
 
 # check is the CI gate: vet, build, and the full suite under the race
 # detector (the resilience tests exercise the worker pool concurrently).

@@ -18,12 +18,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wdl"
 )
 
 func main() {
@@ -45,8 +47,16 @@ func main() {
 		resume    = flag.String("resume", "", "checkpoint manifest (JSONL): completed cells are appended as they finish, and an interrupted campaign re-invoked with the same manifest resumes instead of re-simulating")
 		sampled   = flag.Bool("sample", false, "interval-sampled simulation (fast mode) for every run; sampled and full results never share cache entries")
 		samplePer = flag.Uint64("sample-period", 0, "with -sample, sampling period in instructions (0 = default)")
+		wdlFiles  = flag.String("workload-file", "", "comma-separated .wdl files; their workloads replace the registry set in workload-driven experiments")
+		chpsTrcs  = flag.String("champsim-trace", "", "comma-separated ChampSim trace files, used as workloads in workload-driven experiments")
 	)
 	flag.Parse()
+
+	custom, err := customWorkloads(*wdlFiles, *chpsTrcs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -116,7 +126,7 @@ func main() {
 		}
 		switch name {
 		case "fig2":
-			r, err := experiments.Fig2(o, nil)
+			r, err := experiments.Fig2(o, custom)
 			if err != nil {
 				return err
 			}
@@ -124,7 +134,7 @@ func main() {
 				return err
 			}
 		case "fig3":
-			r, err := experiments.Fig3(o, nil)
+			r, err := experiments.Fig3(o, custom)
 			if err != nil {
 				return err
 			}
@@ -132,7 +142,7 @@ func main() {
 				return err
 			}
 		case "fig4":
-			r, err := experiments.Fig4(o, nil)
+			r, err := experiments.Fig4(o, custom)
 			if err != nil {
 				return err
 			}
@@ -140,7 +150,7 @@ func main() {
 				return err
 			}
 		case "fig9":
-			r, err := experiments.Fig9(o, nil)
+			r, err := experiments.Fig9(o, custom)
 			if err != nil {
 				return err
 			}
@@ -148,7 +158,7 @@ func main() {
 				return err
 			}
 		case "fig10":
-			r, err := experiments.Fig10(o, nil)
+			r, err := experiments.Fig10(o, custom)
 			if err != nil {
 				return err
 			}
@@ -156,7 +166,7 @@ func main() {
 				return err
 			}
 		case "fig11":
-			r, err := experiments.Fig11(o, nil)
+			r, err := experiments.Fig11(o, custom)
 			if err != nil {
 				return err
 			}
@@ -164,7 +174,7 @@ func main() {
 				return err
 			}
 		case "fig12":
-			r, err := experiments.Fig12(o, nil)
+			r, err := experiments.Fig12(o, custom)
 			if err != nil {
 				return err
 			}
@@ -172,7 +182,7 @@ func main() {
 				return err
 			}
 		case "fig13":
-			r, err := experiments.Fig13(o, nil)
+			r, err := experiments.Fig13(o, custom)
 			if err != nil {
 				return err
 			}
@@ -180,7 +190,7 @@ func main() {
 				return err
 			}
 		case "fig14":
-			r, err := experiments.Fig14(o, nil)
+			r, err := experiments.Fig14(o, custom)
 			if err != nil {
 				return err
 			}
@@ -188,7 +198,7 @@ func main() {
 				return err
 			}
 		case "fig15":
-			r, err := experiments.Fig15(o, nil)
+			r, err := experiments.Fig15(o, custom)
 			if err != nil {
 				return err
 			}
@@ -196,7 +206,7 @@ func main() {
 				return err
 			}
 		case "fig16":
-			r, err := experiments.Fig16(o, nil)
+			r, err := experiments.Fig16(o, custom)
 			if err != nil {
 				return err
 			}
@@ -204,7 +214,7 @@ func main() {
 				return err
 			}
 		case "fig17":
-			r, err := experiments.Fig17(o, nil)
+			r, err := experiments.Fig17(o, custom)
 			if err != nil {
 				return err
 			}
@@ -212,7 +222,7 @@ func main() {
 				return err
 			}
 		case "fig18":
-			r, err := experiments.Fig18(o, nil)
+			r, err := experiments.Fig18(o, custom)
 			if err != nil {
 				return err
 			}
@@ -227,7 +237,7 @@ func main() {
 			// a representative subset unless the user raised the budgets.
 			candidates := []string{"Delta", "PC^Delta", "PC", "VA", "VA>>12",
 				"CacheLineOffset", "sTLB MPKI", "sTLB MissRate", "LLC MPKI"}
-			r, err := experiments.Table2(o, nil, candidates, nil)
+			r, err := experiments.Table2(o, custom, candidates, nil)
 			if err != nil {
 				return err
 			}
@@ -235,6 +245,9 @@ func main() {
 				return err
 			}
 		case "table3":
+			if len(custom) > 0 {
+				return fmt.Errorf("%s does not take custom workloads", name)
+			}
 			r, err := experiments.Table3()
 			if err != nil {
 				return err
@@ -243,6 +256,9 @@ func main() {
 				return err
 			}
 		case "table5":
+			if len(custom) > 0 {
+				return fmt.Errorf("%s does not take custom workloads", name)
+			}
 			r, err := experiments.Table5(o)
 			if err != nil {
 				return err
@@ -257,7 +273,7 @@ func main() {
 				"sweep-degree": experiments.DegreeSweep,
 				"sweep-vub":    experiments.VUBSweep,
 			}
-			r, err := fns[name](o, nil)
+			r, err := fns[name](o, custom)
 			if err != nil {
 				return err
 			}
@@ -265,7 +281,7 @@ func main() {
 				return err
 			}
 		case "shapes":
-			r, err := experiments.VerifyShapes(o, nil)
+			r, err := experiments.VerifyShapes(o, custom)
 			if err != nil {
 				return err
 			}
@@ -273,6 +289,9 @@ func main() {
 				return err
 			}
 		case "fig19":
+			if len(custom) > 0 {
+				return fmt.Errorf("%s draws its mixes from the registry and does not take custom workloads", name)
+			}
 			r, err := experiments.Fig19(o, *cores, *mixes)
 			if err != nil {
 				return err
@@ -322,6 +341,42 @@ func main() {
 	// Campaign accounting: `make campaign` asserts a warm-cache re-run
 	// prints simulated=0 here.
 	fmt.Printf("campaign: %s\n", totals)
+}
+
+// customWorkloads assembles the user-supplied workload set: every workload
+// from each .wdl file plus one workload per ChampSim trace. A non-empty
+// result replaces the registry set in workload-driven experiments.
+func customWorkloads(wdlFiles, champsimTraces string) ([]trace.Workload, error) {
+	var out []trace.Workload
+	for _, path := range splitList(wdlFiles) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := wdl.ParseWorkloads(path, src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ws...)
+	}
+	for _, path := range splitList(champsimTraces) {
+		w, err := trace.LoadChampSim(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // hardExitOnSecondSignal makes a second SIGINT/SIGTERM exit the process

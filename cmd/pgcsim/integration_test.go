@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repo's commands into dir and returns the
+// binary's path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestEmitWDLPipeReproducesDirectRun is the full user-facing loop:
+// `tracegen -emit-wdl` describes a registry workload as text, piping that
+// text into `pgcsim -workload-file -` must produce a metrics snapshot
+// byte-identical to running the same workload by name. Any drift — printer,
+// parser, compiler, or CLI plumbing — fails the comparison.
+func TestEmitWDLPipeReproducesDirectRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	tracegen := buildCmd(t, dir, "tracegen")
+	pgcsim := buildCmd(t, dir, "pgcsim")
+
+	const workload = "gap.graph_s00"
+	budget := []string{"-warmup", "2000", "-instrs", "5000"}
+
+	emit := exec.Command(tracegen, "-workload", workload, "-emit-wdl")
+	wdlText, err := emit.Output()
+	if err != nil {
+		t.Fatalf("tracegen -emit-wdl: %v", err)
+	}
+	if !strings.Contains(string(wdlText), "workload "+workload) {
+		t.Fatalf("emitted WDL lacks the workload declaration:\n%s", wdlText)
+	}
+
+	viaPipe := filepath.Join(dir, "pipe.json")
+	pipe := exec.Command(pgcsim, append([]string{"-workload-file", "-", "-metrics-out", viaPipe}, budget...)...)
+	pipe.Stdin = bytes.NewReader(wdlText)
+	if out, err := pipe.CombinedOutput(); err != nil {
+		t.Fatalf("pgcsim -workload-file -: %v\n%s", err, out)
+	}
+
+	viaName := filepath.Join(dir, "direct.json")
+	direct := exec.Command(pgcsim, append([]string{"-workload", workload, "-metrics-out", viaName}, budget...)...)
+	if out, err := direct.CombinedOutput(); err != nil {
+		t.Fatalf("pgcsim -workload: %v\n%s", err, out)
+	}
+
+	a, err := os.ReadFile(viaPipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(viaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("piped run wrote an empty metrics snapshot")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("metrics snapshots differ between -workload-file pipe and direct -workload run (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestChampSimTraceFlag replays the committed ChampSim fixture through the
+// CLI flag and checks the run is attributed to the trace, not a generator.
+func TestChampSimTraceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	pgcsim := buildCmd(t, dir, "pgcsim")
+	fixture, err := filepath.Abs("../../internal/trace/testdata/champsim/valid_small.champsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(pgcsim, "-champsim-trace", fixture, "-warmup", "0", "-instrs", "50")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("pgcsim -champsim-trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "champsim.valid_small (champsim)") {
+		t.Fatalf("run not attributed to the trace:\n%s", out)
+	}
+}

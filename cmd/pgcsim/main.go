@@ -6,6 +6,8 @@
 //
 //	pgcsim -workload gap.graph_s00 -prefetcher berti -policy dripper
 //	pgcsim -workload spec.pagehop_s00 -policy permit -instrs 1000000
+//	pgcsim -workload-file workloads.wdl -policy dripper
+//	pgcsim -champsim-trace 600.perlbench_s-210B.champsimtrace -sample
 //	pgcsim -list
 package main
 
@@ -14,15 +16,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wdl"
 )
 
 func main() {
@@ -35,6 +40,8 @@ func main() {
 		instrs     = flag.Uint64("instrs", 250_000, "measured instructions")
 		largePages = flag.Bool("large-pages", false, "back half the address space with 2MB pages")
 		traceFile  = flag.String("trace", "", "run a recorded .pgct trace file instead of a named workload")
+		wdlFile    = flag.String("workload-file", "", "run a workload described in a .wdl file (\"-\" reads stdin); with -workload, selects that name from the file")
+		champsim   = flag.String("champsim-trace", "", "replay a ChampSim-format trace file (.champsimtrace, optionally .gz)")
 		list       = flag.Bool("list", false, "list all workloads and exit")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 5m (0 = none); partial statistics are printed on expiry or Ctrl-C")
 		metricsOut = flag.String("metrics-out", "", "write the full metrics snapshot as JSON to this file")
@@ -132,10 +139,50 @@ func main() {
 		}()
 	}
 
+	// Exactly one instruction source: the registry (default), a .wdl file,
+	// a ChampSim trace, or a recorded .pgct trace.
+	sources := 0
+	for _, s := range []string{*traceFile, *wdlFile, *champsim} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		fmt.Fprintln(os.Stderr, "pgcsim: -trace, -workload-file and -champsim-trace are mutually exclusive")
+		os.Exit(1)
+	}
+	workloadNamed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			workloadNamed = true
+		}
+	})
+	var w trace.Workload
+	if *traceFile == "" {
+		var werr error
+		switch {
+		case *champsim != "":
+			w, werr = trace.LoadChampSim(*champsim)
+		case *wdlFile != "":
+			w, werr = loadWorkloadFile(*wdlFile, *workload, workloadNamed)
+		default:
+			var ok bool
+			if w, ok = trace.ByName(*workload); !ok {
+				werr = fmt.Errorf("unknown workload %q (try -list)", *workload)
+			}
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+
 	// The result cache serves (and stores) finished statistics only; any
 	// flag that needs the live system or observes the run itself (metrics
 	// snapshot, event trace, CPU profile, ad-hoc trace files whose content
-	// the key cannot see) bypasses it.
+	// the key cannot see) bypasses it. WDL workloads participate through
+	// their compiled generator config; ChampSim traces through their content
+	// hash.
 	var store *campaign.Store
 	var cacheKey campaign.Key
 	if *cacheDir != "" && *traceFile == "" && *metricsOut == "" && *traceOut == "" && *pprofOut == "" {
@@ -144,14 +191,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", serr)
 			os.Exit(1)
 		}
-		if w, ok := trace.ByName(*workload); ok {
-			if k, kerr := campaign.KeyOf(cfg, w); kerr == nil {
-				store, cacheKey = s, k
-				if runs, hit := s.Get(k); hit {
-					fmt.Printf("(cached: %s)\n", k[:12])
-					report(runs[0])
-					return
-				}
+		if k, kerr := campaign.KeyOf(cfg, w); kerr == nil {
+			store, cacheKey = s, k
+			if runs, hit := s.Get(k); hit {
+				fmt.Printf("(cached: %s)\n", k[:12])
+				report(runs[0])
+				return
 			}
 		}
 	}
@@ -173,17 +218,20 @@ func main() {
 		}
 		run, sys, err = sim.RunTraceSystem(ctx, cfg, *traceFile, "file", trace.NewSliceReader(instrs))
 	} else {
-		w, ok := trace.ByName(*workload)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "pgcsim: unknown workload %q (try -list)\n", *workload)
-			os.Exit(1)
-		}
 		reader, rerr := w.NewReader()
 		if rerr != nil {
 			fmt.Fprintf(os.Stderr, "pgcsim: %v\n", rerr)
 			os.Exit(1)
 		}
 		run, sys, err = sim.RunTraceSystem(ctx, cfg, w.Name, w.Suite, reader)
+		// A decode failure mid-stream (torn record, corrupt gzip) ends the
+		// run early and quietly; surface it as the error it is.
+		if cs, ok := reader.(*trace.ChampSimReader); ok {
+			if derr := cs.Err(); derr != nil && err == nil {
+				err = derr
+			}
+			cs.Close()
+		}
 	}
 	// Metrics and trace artifacts are written even for interrupted runs —
 	// a partial snapshot is exactly what post-hoc stall diagnosis needs.
@@ -207,6 +255,52 @@ func main() {
 		}
 	}
 	report(run)
+}
+
+// loadWorkloadFile compiles a .wdl file (or stdin for "-") and picks the
+// workload to run: the file's only workload, or — when -workload was given
+// explicitly — the one with that name.
+func loadWorkloadFile(path, name string, named bool) (trace.Workload, error) {
+	var src []byte
+	var err error
+	file := path
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		file = "<stdin>"
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	ws, err := wdl.ParseWorkloads(file, src)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	if len(ws) == 0 {
+		return trace.Workload{}, fmt.Errorf("%s defines no workloads", file)
+	}
+	if !named {
+		if len(ws) == 1 {
+			return ws[0], nil
+		}
+		return trace.Workload{}, fmt.Errorf("%s defines %d workloads (%s); select one with -workload",
+			file, len(ws), workloadNames(ws))
+	}
+	for _, w := range ws {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return trace.Workload{}, fmt.Errorf("workload %q not in %s (defines: %s)", name, file, workloadNames(ws))
+}
+
+func workloadNames(ws []trace.Workload) string {
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return strings.Join(names, ", ")
 }
 
 // writeArtifacts exports the system's metrics snapshot and event trace to

@@ -6,6 +6,7 @@
 // Examples:
 //
 //	tracegen -workload gap.graph_s00 -n 1000000 -o graph.pgct
+//	tracegen -workload gap.graph_s00 -emit-wdl > graph.wdl
 //	tracegen -inspect graph.pgct
 package main
 
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/trace"
+	"repro/internal/wdl"
 )
 
 func main() {
@@ -23,6 +25,7 @@ func main() {
 		n        = flag.Int("n", 500_000, "instructions to record")
 		out      = flag.String("o", "trace.pgct", "output file")
 		inspect  = flag.String("inspect", "", "print a summary of an existing trace file and exit")
+		emitWDL  = flag.Bool("emit-wdl", false, "print the workload's canonical .wdl description to stdout instead of recording a trace")
 	)
 	flag.Parse()
 
@@ -41,6 +44,12 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
 		os.Exit(1)
+	}
+	if *emitWDL {
+		// The canonical form round-trips: piping this into
+		// `pgcsim -workload-file -` reproduces the registry workload exactly.
+		os.Stdout.Write(wdl.Format(w))
+		return
 	}
 	r, err := w.NewReader()
 	if err != nil {

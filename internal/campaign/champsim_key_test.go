@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// champSimFixture is the small committed ChampSim trace shared with the
+// trace package's decoder tests.
+const champSimFixture = "../trace/testdata/champsim/valid_small.champsim"
+
+// TestChampSimSourceKeys pins the cache-key contract for externally sourced
+// workloads: identity is the trace file's content, not its path or name, and
+// an external trace never collides with a generator workload's cells.
+func TestChampSimSourceKeys(t *testing.T) {
+	cfg := tinyConfig(t)
+	ext, err := trace.LoadChampSim(champSimFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extKey, err := KeyOf(cfg, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct from every generator workload's key under the same config —
+	// even one renamed to impersonate the trace.
+	genKey, err := KeyOf(cfg, workload(t, "spec.stream_s00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extKey == genKey {
+		t.Fatal("external trace shares a cache key with a generator workload")
+	}
+	impostor := workload(t, "spec.stream_s00")
+	impostor.Name, impostor.Suite = ext.Name, ext.Suite
+	impKey, err := KeyOf(cfg, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extKey == impKey {
+		t.Fatal("generator workload renamed after the trace collides with it")
+	}
+
+	// Same bytes at another path → same key: content addressing, so a moved
+	// or mirrored trace still hits its cached cells.
+	raw, err := os.ReadFile(champSimFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := filepath.Join(t.TempDir(), "valid_small.champsim")
+	if err := os.WriteFile(copyPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := trace.LoadChampSim(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpKey, err := KeyOf(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpKey != extKey {
+		t.Fatal("identical trace bytes at a different path produced a different key")
+	}
+
+	// Changed bytes → changed key: editing the trace invalidates exactly its
+	// own cells.
+	mutated := append([]byte(nil), raw...)
+	mutated[0] ^= 0xFF
+	mutPath := filepath.Join(t.TempDir(), "valid_small.champsim")
+	if err := os.WriteFile(mutPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mut, err := trace.LoadChampSim(mutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutKey, err := KeyOf(cfg, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutKey == extKey {
+		t.Fatal("mutated trace content kept the old cache key")
+	}
+
+	// A source without a content hash is unaddressable and must be refused,
+	// not silently keyed by name.
+	bare := ext
+	bare.Source = &trace.Source{Format: "champsim"}
+	if _, err := KeyOf(cfg, bare); err == nil || !strings.Contains(err.Error(), "content hash") {
+		t.Fatalf("sourceless hash must be rejected, got: %v", err)
+	}
+
+	// Mix keys carry the source too.
+	mc := sim.MultiConfig{PerCore: cfg, Cores: 2}
+	mix, err := MixKeyOf(mc, []trace.Workload{ext, workload(t, "spec.stream_s00")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixGen, err := MixKeyOf(mc, []trace.Workload{impostor, workload(t, "spec.stream_s00")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix == mixGen {
+		t.Fatal("mix key ignores the external trace source")
+	}
+}

@@ -47,6 +47,23 @@ type workloadKey struct {
 	Name  string          `json:"name"`
 	Suite string          `json:"suite"`
 	Gen   trace.GenConfig `json:"gen"`
+	// Source carries the content hash of an external trace file backing
+	// the workload (a decoded ChampSim trace). The hash — not the path —
+	// is the identity, so the same trace hits the same cells from any
+	// location and a changed file invalidates exactly its own cells. The
+	// field is omitted for generator workloads, which keeps every
+	// pre-existing cache key byte-stable.
+	Source *trace.Source `json:"source,omitempty"`
+}
+
+// cellWorkloadKey builds the identity of one workload, rejecting external
+// sources whose content hash is missing: a cell the cache cannot address
+// by content must not be cached at all.
+func cellWorkloadKey(w trace.Workload) (workloadKey, error) {
+	if w.Source != nil && w.Source.SHA256 == "" {
+		return workloadKey{}, fmt.Errorf("campaign: workload %s: external trace source has no content hash", w.Name)
+	}
+	return workloadKey{Name: w.Name, Suite: w.Suite, Gen: w.Config, Source: w.Source}, nil
 }
 
 // keyPayload is the canonical pre-image. Go's encoding/json is
@@ -66,10 +83,14 @@ func KeyOf(cfg sim.Config, w trace.Workload) (Key, error) {
 	if cfg.FaultInject != nil {
 		return "", ErrUncacheable
 	}
+	wk, err := cellWorkloadKey(w)
+	if err != nil {
+		return "", err
+	}
 	return hashPayload(keyPayload{
 		Schema:    SchemaVersion,
 		Config:    &cfg,
-		Workloads: []workloadKey{{Name: w.Name, Suite: w.Suite, Gen: w.Config}},
+		Workloads: []workloadKey{wk},
 	})
 }
 
@@ -81,7 +102,11 @@ func MixKeyOf(mc sim.MultiConfig, mix []trace.Workload) (Key, error) {
 	}
 	wks := make([]workloadKey, len(mix))
 	for i, w := range mix {
-		wks[i] = workloadKey{Name: w.Name, Suite: w.Suite, Gen: w.Config}
+		wk, err := cellWorkloadKey(w)
+		if err != nil {
+			return "", err
+		}
+		wks[i] = wk
 	}
 	return hashPayload(keyPayload{Schema: SchemaVersion, Multi: &mc, Workloads: wks})
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wdl"
 )
 
 // CampaignRequest is the POST /v1/campaigns body: a campaign spec expressed
@@ -45,8 +46,12 @@ type CellSpec struct {
 	// ID names the cell within the campaign (required, ≤128 chars).
 	ID string `json:"id"`
 	// Workload is a workload name from the evaluation set (see
-	// `pgcsim -list`).
-	Workload string `json:"workload"`
+	// `pgcsim -list`). Mutually exclusive with WDL.
+	Workload string `json:"workload,omitempty"`
+	// WDL, when set, carries an inline workload description (the .wdl
+	// language) compiled server-side; it must define exactly one workload.
+	// Mutually exclusive with Workload, capped at maxWDLBytes.
+	WDL string `json:"wdl,omitempty"`
 	// Config, when present, is merged over the server's default cell
 	// configuration: fields present in the JSON override the default,
 	// everything else keeps it. Unknown fields are rejected.
@@ -60,6 +65,10 @@ var jobIDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 // maxTraceCapacity caps the per-cell event-tracer ring buffer a request may
 // ask for; anything larger is a memory-exhaustion vector, not a use case.
 const maxTraceCapacity = 1 << 20
+
+// maxWDLBytes caps an inline workload description. Real descriptions are a
+// few hundred bytes; the cap guards the parser against megabyte bodies.
+const maxWDLBytes = 64 << 10
 
 // compiled is an admitted request: the executable spec plus every cell's
 // content key (the warm-probe input).
@@ -89,9 +98,9 @@ func (s *Server) compile(req *CampaignRequest) (*compiled, error) {
 		if len(c.ID) > 128 {
 			return nil, fmt.Errorf("cell %d: id longer than 128 bytes", i)
 		}
-		w, ok := trace.ByName(c.Workload)
-		if !ok {
-			return nil, fmt.Errorf("cell %q: unknown workload %q", c.ID, c.Workload)
+		w, err := cellWorkload(c)
+		if err != nil {
+			return nil, fmt.Errorf("cell %q: %w", c.ID, err)
 		}
 		cfg, err := s.cellConfig(c.Config)
 		if err != nil {
@@ -114,6 +123,38 @@ func (s *Server) compile(req *CampaignRequest) (*compiled, error) {
 		out.keys = append(out.keys, k)
 	}
 	return out, nil
+}
+
+// cellWorkload resolves a cell's instruction source: a registry name, or an
+// inline WDL body defining exactly one workload. The WDL path reuses the
+// same compiler as the CLIs, so a description that works locally admits
+// identically over the wire — and since compiled workloads are plain
+// generator configs, the cache keys them exactly like registry cells.
+func cellWorkload(c *CellSpec) (trace.Workload, error) {
+	switch {
+	case c.Workload != "" && c.WDL != "":
+		return trace.Workload{}, fmt.Errorf(`"workload" and "wdl" are mutually exclusive`)
+	case c.WDL != "":
+		if len(c.WDL) > maxWDLBytes {
+			return trace.Workload{}, fmt.Errorf("wdl body is %d bytes, cap is %d", len(c.WDL), maxWDLBytes)
+		}
+		ws, err := wdl.ParseWorkloads("wdl", []byte(c.WDL))
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		if len(ws) != 1 {
+			return trace.Workload{}, fmt.Errorf("wdl body must define exactly one workload, has %d", len(ws))
+		}
+		return ws[0], nil
+	case c.Workload != "":
+		w, ok := trace.ByName(c.Workload)
+		if !ok {
+			return trace.Workload{}, fmt.Errorf("unknown workload %q", c.Workload)
+		}
+		return w, nil
+	default:
+		return trace.Workload{}, fmt.Errorf(`needs a "workload" name or an inline "wdl" body`)
+	}
 }
 
 // cellConfig merges a request's config JSON over the server's default cell

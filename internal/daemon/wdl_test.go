@@ -1,0 +1,84 @@
+package daemon
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSubmitWDLCell exercises the inline-workload path end to end: a cell
+// carrying a .wdl body (instead of a registry name) is compiled server-side,
+// simulated, and cached under its compiled generator config — so the same
+// description resubmitted under a new job ID is served warm.
+func TestSubmitWDLCell(t *testing.T) {
+	_, ts := openTest(t, testConfig(t))
+
+	const desc = `workload api.custom { seed 0x7 stream { stride_lines 2 footprint_pages 64 } }`
+	body := `{"id":"wdl1","cells":[{"id":"a","wdl":"` + desc + `"}],"wait_ms":15000}`
+	resp, sr := submit(t, ts, body)
+	if resp.StatusCode != http.StatusOK || sr.State != JobDone {
+		t.Fatalf("wdl submit: %d %s (error %q)", resp.StatusCode, sr.State, sr.JobStatus.Error)
+	}
+	if sr.Result == nil || sr.Result.Simulated != 1 {
+		t.Fatalf("result = %+v, want 1 simulated run", sr.Result)
+	}
+	if rs := sr.Result.Runs["a"]; len(rs) != 1 || rs[0].Workload != "api.custom" {
+		t.Fatalf("run attribution = %+v, want api.custom", sr.Result.Runs)
+	}
+
+	// Same description, new job: the compiled config hashes identically, so
+	// the cache serves it without simulating.
+	resp2, sr2 := submit(t, ts, `{"id":"wdl2","cells":[{"id":"a","wdl":"`+desc+`"}]}`)
+	if resp2.StatusCode != http.StatusOK || sr2.State != JobDone {
+		t.Fatalf("warm wdl submit: %d %s", resp2.StatusCode, sr2.State)
+	}
+	if sr2.Result.Simulated != 0 || sr2.Result.CacheHits != 1 {
+		t.Fatalf("warm result simulated=%d cacheHits=%d, want 0/1",
+			sr2.Result.Simulated, sr2.Result.CacheHits)
+	}
+}
+
+// TestSubmitWDLRejections pins the admission contract for inline workloads:
+// every malformed shape is a 400 at submit time, and parse failures carry
+// the WDL compiler's line:column diagnostic back to the client.
+func TestSubmitWDLRejections(t *testing.T) {
+	_, ts := openTest(t, testConfig(t))
+	for name, tc := range map[string]struct {
+		body string
+		want string
+	}{
+		"both name and wdl": {
+			`{"cells":[{"id":"a","workload":"spec.stream_s00","wdl":"workload x { family stream seed 1 }"}]}`,
+			"mutually exclusive",
+		},
+		"neither": {
+			`{"cells":[{"id":"a"}]}`,
+			`needs a "workload" name or an inline "wdl" body`,
+		},
+		"parse error with position": {
+			`{"cells":[{"id":"a","wdl":"workload x { streem { footprint_pages 8 } }"}]}`,
+			"wdl:1:21",
+		},
+		"multiple workloads": {
+			`{"cells":[{"id":"a","wdl":"workload x { family stream seed 1 } workload y { family stream seed 2 }"}]}`,
+			"exactly one workload, has 2",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, sr := submit(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if !strings.Contains(sr.Error, tc.want) {
+				t.Fatalf("error %q lacks %q", sr.Error, tc.want)
+			}
+		})
+	}
+
+	// Oversized body: the cap is on the WDL text itself.
+	huge := `{"cells":[{"id":"a","wdl":"` + strings.Repeat("#", maxWDLBytes+1) + `"}]}`
+	if resp, sr := submit(t, ts, huge); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(sr.Error, "cap is") {
+		t.Fatalf("oversized wdl: status %d error %q, want 400 with cap message", resp.StatusCode, sr.Error)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -821,7 +822,20 @@ func RunWorkload(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run,
 	if cfg.Sample.Enabled && cfg.Sample.Seed == 0 && w.Config.Seed != 0 {
 		cfg.Sample.Seed = w.Config.Seed
 	}
-	return RunTrace(ctx, cfg, w.Name, w.Suite, reader)
+	run, rerr := RunTrace(ctx, cfg, w.Name, w.Suite, reader)
+	// External trace readers (ChampSim files) report decode failures through
+	// a sticky error and hold an open file: a torn record mid-stream must
+	// fail the run, not silently shorten it, and the descriptor must not
+	// leak across a campaign's thousands of cells.
+	if ec, ok := reader.(interface{ Err() error }); ok && rerr == nil {
+		if derr := ec.Err(); derr != nil {
+			rerr = &RunError{Workload: w.Name, Stage: "trace", Err: derr}
+		}
+	}
+	if c, ok := reader.(io.Closer); ok {
+		c.Close()
+	}
+	return run, rerr
 }
 
 // RunWorkloadCtx forwards to RunWorkload, which is now context-first itself.

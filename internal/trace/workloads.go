@@ -18,10 +18,25 @@ type Workload struct {
 	Weight float64
 	// Config generates the workload's instruction stream.
 	Config GenConfig
+	// Source, when non-nil, backs the workload with an external trace file
+	// (a decoded ChampSim trace) instead of the synthetic generator; Config
+	// is ignored then, and the workload's cache identity is the file's
+	// content hash.
+	Source *Source
 }
 
 // NewReader returns a fresh deterministic reader for the workload.
-func (w Workload) NewReader() (Reader, error) { return NewGen(w.Config) }
+func (w Workload) NewReader() (Reader, error) {
+	if w.Source != nil {
+		switch w.Source.Format {
+		case "champsim":
+			return OpenChampSim(w.Source.Path)
+		default:
+			return nil, fmt.Errorf("trace: unknown source format %q", w.Source.Format)
+		}
+	}
+	return NewGen(w.Config)
+}
 
 // hashName turns a workload name into a stable seed.
 func hashName(name string, salt uint64) uint64 {

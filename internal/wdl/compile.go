@@ -1,0 +1,415 @@
+package wdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Workload-level setting keys. "seed" sets trace.GenConfig.Seed directly in
+// the explicit form; in the "family" shorthand it is the derivation seed
+// handed to trace.FamilyConfig, which draws every parameter from it.
+var workloadKeys = []string{
+	"suite", "weight", "seed", "compute_per_mem", "store_frac",
+	"hard_branch_frac", "code_pages", "family",
+}
+
+var streamKeys = []string{
+	"stride_lines", "run_lines", "jump", "footprint_pages", "weight",
+}
+
+var phasesKeys = []string{"len"}
+
+// Compile lowers a parsed file to simulator workloads, running every
+// semantic check: unknown/duplicate keys (with a did-you-mean hint), value
+// types and ranges, stream/phase structural constraints, and the generator
+// config's own Validate as a final safety net. The first violation aborts
+// with a positioned *Error.
+func Compile(f *File) ([]trace.Workload, error) {
+	seen := map[string]Pos{}
+	out := make([]trace.Workload, 0, len(f.Workloads))
+	for _, decl := range f.Workloads {
+		if prev, dup := seen[decl.Name]; dup {
+			return nil, errf(f.Name, decl.NamePos,
+				"duplicate workload %q (first declared at %s)", decl.Name, prev)
+		}
+		seen[decl.Name] = decl.NamePos
+		w, err := compileWorkload(f.Name, decl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// ParseWorkloads is the one-call front door: parse + compile.
+func ParseWorkloads(file string, src []byte) ([]trace.Workload, error) {
+	f, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f)
+}
+
+// settingTable indexes settings by key, rejecting duplicates.
+func settingTable(file, context string, settings []*Setting, known []string) (map[string]*Setting, error) {
+	tab := make(map[string]*Setting, len(settings))
+	for _, s := range settings {
+		if !contains(known, s.Key) {
+			msg := fmt.Sprintf("%s: unknown setting %q", context, s.Key)
+			if sug := suggest(s.Key, known); sug != "" {
+				msg += fmt.Sprintf(" (did you mean %q?)", sug)
+			}
+			return nil, &Error{File: file, Pos: s.KeyPos, Msg: msg}
+		}
+		if prev, dup := tab[s.Key]; dup {
+			return nil, errf(file, s.KeyPos,
+				"%s: duplicate setting %q (first at %s)", context, s.Key, prev.KeyPos)
+		}
+		tab[s.Key] = s
+	}
+	return tab, nil
+}
+
+func compileWorkload(file string, decl *WorkloadDecl) (trace.Workload, error) {
+	var zero trace.Workload
+	if decl.Name == "" {
+		return zero, errf(file, decl.Pos, "workload has an empty name")
+	}
+	ctx := "workload " + decl.Name
+	tab, err := settingTable(file, ctx, decl.Settings, workloadKeys)
+	if err != nil {
+		return zero, err
+	}
+
+	w := trace.Workload{Name: decl.Name, Weight: 1, MemoryIntensive: true}
+	if s, ok := tab["suite"]; ok {
+		if w.Suite, err = stringVal(file, s); err != nil {
+			return zero, err
+		}
+	} else if i := strings.IndexByte(decl.Name, '.'); i > 0 {
+		w.Suite = decl.Name[:i]
+	} else {
+		w.Suite = "wdl"
+	}
+	if s, ok := tab["weight"]; ok {
+		v, err := floatVal(file, s, 0, 0) // no range cap; must be positive below
+		if err != nil {
+			return zero, err
+		}
+		if v <= 0 {
+			return zero, errf(file, s.Val.Pos, "%s: weight must be positive, got %s", ctx, s.Val.Text)
+		}
+		w.Weight = v
+	}
+
+	if fam, ok := tab["family"]; ok {
+		// Shorthand: the whole generator is drawn from a named family and a
+		// derivation seed, exactly like the built-in evaluation sets.
+		for key := range tab {
+			switch key {
+			case "family", "seed", "suite", "weight":
+			default:
+				return zero, errf(file, tab[key].KeyPos,
+					"%s: setting %q conflicts with \"family\" (a family fully determines the generator)",
+					ctx, key)
+			}
+		}
+		if len(decl.Streams) > 0 {
+			return zero, errf(file, decl.Streams[0].Pos,
+				"%s: stream block conflicts with \"family\" (a family fully determines the generator)", ctx)
+		}
+		if decl.Phases != nil {
+			return zero, errf(file, decl.Phases.Pos,
+				"%s: phases block conflicts with \"family\" (a family fully determines the generator)", ctx)
+		}
+		name, err := stringVal(file, fam)
+		if err != nil {
+			return zero, err
+		}
+		seedSetting, ok := tab["seed"]
+		if !ok {
+			return zero, errf(file, fam.KeyPos,
+				"%s: \"family\" requires a \"seed\" setting (the derivation seed)", ctx)
+		}
+		seed, err := uintVal(file, seedSetting)
+		if err != nil {
+			return zero, err
+		}
+		cfg, err := trace.FamilyConfig(name, seed)
+		if err != nil {
+			return zero, errf(file, fam.Val.Pos,
+				"%s: unknown family %q (known: %s)", ctx, name, strings.Join(trace.Families(), ", "))
+		}
+		w.Config = cfg
+		return w, nil
+	}
+
+	cfg := trace.GenConfig{}
+	if s, ok := tab["seed"]; ok {
+		if cfg.Seed, err = uintVal(file, s); err != nil {
+			return zero, err
+		}
+	}
+	if s, ok := tab["compute_per_mem"]; ok {
+		if cfg.ComputePerMem, err = intVal(file, s, 0, 1<<20); err != nil {
+			return zero, err
+		}
+	}
+	if s, ok := tab["code_pages"]; ok {
+		if cfg.CodePages, err = intVal(file, s, 0, 1<<20); err != nil {
+			return zero, err
+		}
+	}
+	if s, ok := tab["store_frac"]; ok {
+		if cfg.StoreFrac, err = floatVal(file, s, 0, 1); err != nil {
+			return zero, err
+		}
+	}
+	if s, ok := tab["hard_branch_frac"]; ok {
+		if cfg.HardBranchFrac, err = floatVal(file, s, 0, 1); err != nil {
+			return zero, err
+		}
+	}
+
+	if len(decl.Streams) == 0 {
+		return zero, errf(file, decl.Pos,
+			"%s: needs at least one stream block (or a \"family\" shorthand)", ctx)
+	}
+	for _, sd := range decl.Streams {
+		spec, err := compileStream(file, sd)
+		if err != nil {
+			return zero, err
+		}
+		cfg.Streams = append(cfg.Streams, spec)
+	}
+
+	if decl.Phases != nil {
+		ptab, err := settingTable(file, "phases block", decl.Phases.Settings, phasesKeys)
+		if err != nil {
+			return zero, err
+		}
+		if len(decl.Phases.Lists) == 0 {
+			return zero, errf(file, decl.Phases.Pos,
+				"phases block needs at least one \"phase [...]\" entry")
+		}
+		lenSetting, ok := ptab["len"]
+		if !ok {
+			return zero, errf(file, decl.Phases.Pos,
+				"phases block needs a \"len\" setting (instructions per phase)")
+		}
+		if cfg.PhaseLen, err = uintVal(file, lenSetting); err != nil {
+			return zero, err
+		}
+		if cfg.PhaseLen == 0 {
+			return zero, errf(file, lenSetting.Val.Pos, "phases block: len must be positive")
+		}
+		for _, lst := range decl.Phases.Lists {
+			if len(lst.Ints) == 0 {
+				return zero, errf(file, lst.Pos, "phase list is empty (needs at least one stream index)")
+			}
+			ids := make([]int, 0, len(lst.Ints))
+			for _, lit := range lst.Ints {
+				id, err := strconv.Atoi(lit.Text)
+				if err != nil || id < 0 || id >= len(cfg.Streams) {
+					return zero, errf(file, lit.Pos,
+						"phase list: stream index %s out of range (workload has %d streams)",
+						lit.Text, len(cfg.Streams))
+				}
+				ids = append(ids, id)
+			}
+			cfg.Phases = append(cfg.Phases, ids)
+		}
+	}
+
+	// Final net: any constraint the checks above missed surfaces here with
+	// the workload's own position rather than a panic downstream.
+	if err := cfg.Validate(); err != nil {
+		return zero, errf(file, decl.Pos, "%s: %v", ctx, err)
+	}
+	w.Config = cfg
+	return w, nil
+}
+
+func compileStream(file string, sd *StreamDecl) (trace.StreamSpec, error) {
+	var zero trace.StreamSpec
+	tab, err := settingTable(file, "stream block", sd.Settings, streamKeys)
+	if err != nil {
+		return zero, err
+	}
+	spec := trace.StreamSpec{Weight: 1}
+	if s, ok := tab["stride_lines"]; ok {
+		v, err := int64Val(file, s)
+		if err != nil {
+			return zero, err
+		}
+		spec.StrideLines = v
+	}
+	if s, ok := tab["run_lines"]; ok {
+		if spec.RunLines, err = intVal(file, s, 0, 1<<30); err != nil {
+			return zero, err
+		}
+	}
+	if s, ok := tab["jump"]; ok {
+		mode, err := stringVal(file, s)
+		if err != nil {
+			return zero, err
+		}
+		switch mode {
+		case "random":
+			spec.JumpRandom = true
+		case "sequential":
+			spec.JumpRandom = false
+		default:
+			return zero, errf(file, s.Val.Pos,
+				"stream block: jump must be \"random\" or \"sequential\", got %q", mode)
+		}
+	}
+	fp, ok := tab["footprint_pages"]
+	if !ok {
+		return zero, errf(file, sd.Pos, "stream block: missing required setting \"footprint_pages\"")
+	}
+	if spec.FootprintPages, err = uintVal(file, fp); err != nil {
+		return zero, err
+	}
+	if spec.FootprintPages == 0 {
+		return zero, errf(file, fp.Val.Pos, "stream block: footprint_pages must be positive")
+	}
+	if s, ok := tab["weight"]; ok {
+		if spec.Weight, err = intVal(file, s, 1, 1<<20); err != nil {
+			return zero, err
+		}
+	}
+	return spec, nil
+}
+
+// --- typed value extraction ----------------------------------------------
+
+func stringVal(file string, s *Setting) (string, error) {
+	switch s.Val.Kind {
+	case tokIdent, tokString:
+		return s.Val.Text, nil
+	default:
+		return "", errf(file, s.Val.Pos,
+			"setting %q: expected an ident or string, got %s %q", s.Key, s.Val.Kind, s.Val.Text)
+	}
+}
+
+func uintVal(file string, s *Setting) (uint64, error) {
+	if s.Val.Kind != tokInt {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: expected an unsigned integer, got %s %q", s.Key, s.Val.Kind, s.Val.Text)
+	}
+	v, err := strconv.ParseUint(s.Val.Text, 0, 64)
+	if err != nil {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: %q is not an unsigned 64-bit integer", s.Key, s.Val.Text)
+	}
+	return v, nil
+}
+
+func int64Val(file string, s *Setting) (int64, error) {
+	if s.Val.Kind != tokInt {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: expected an integer, got %s %q", s.Key, s.Val.Kind, s.Val.Text)
+	}
+	v, err := strconv.ParseInt(s.Val.Text, 0, 64)
+	if err != nil {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: %q is not a 64-bit integer", s.Key, s.Val.Text)
+	}
+	return v, nil
+}
+
+func intVal(file string, s *Setting, lo, hi int) (int, error) {
+	v, err := int64Val(file, s)
+	if err != nil {
+		return 0, err
+	}
+	if v < int64(lo) || v > int64(hi) {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: %d out of range [%d, %d]", s.Key, v, lo, hi)
+	}
+	return int(v), nil
+}
+
+// floatVal accepts int or float literals. hi <= lo disables the range check.
+func floatVal(file string, s *Setting, lo, hi float64) (float64, error) {
+	if s.Val.Kind != tokInt && s.Val.Kind != tokFloat {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: expected a number, got %s %q", s.Key, s.Val.Kind, s.Val.Text)
+	}
+	v, err := strconv.ParseFloat(s.Val.Text, 64)
+	if err != nil {
+		return 0, errf(file, s.Val.Pos, "setting %q: %q is not a number", s.Key, s.Val.Text)
+	}
+	if hi > lo && (v < lo || v > hi) {
+		return 0, errf(file, s.Val.Pos,
+			"setting %q: %s out of range [%g, %g]", s.Key, s.Val.Text, lo, hi)
+	}
+	return v, nil
+}
+
+// --- did-you-mean ---------------------------------------------------------
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// suggest returns the known key closest to got, if it is close enough to be
+// a plausible typo (edit distance <= 1/3 of the key length, minimum 1).
+func suggest(got string, known []string) string {
+	best, bestDist := "", 1<<30
+	for _, k := range known {
+		if d := editDistance(got, k); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	limit := len(best) / 3
+	if limit < 1 {
+		limit = 1
+	}
+	if bestDist <= limit {
+		return best
+	}
+	return ""
+}
+
+// editDistance is the Levenshtein distance between two short keys.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

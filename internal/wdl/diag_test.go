@@ -1,0 +1,221 @@
+package wdl
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDiagnostics pins the exact text of every diagnostic class: position
+// (line:column), message, and the expected-token or did-you-mean hint.
+// These strings are user interface — a change here is a deliberate UX
+// decision, not collateral drift.
+func TestDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "top-level junk",
+			src:  `wl foo {}`,
+			want: `t.wdl:1:1: at top level: expected 'workload', got ident "wl"`,
+		},
+		{
+			name: "missing workload name",
+			src:  `workload { }`,
+			want: `t.wdl:1:10: after 'workload': expected a name (ident or string), got '{'`,
+		},
+		{
+			name: "missing open brace",
+			src:  "workload foo\nseed 1",
+			want: `t.wdl:2:1: workload foo: expected '{', got ident "seed"`,
+		},
+		{
+			name: "unclosed workload block",
+			src:  `workload foo {`,
+			want: `t.wdl:1:15: workload foo: expected '}' to close block opened at 1:1, got end of file`,
+		},
+		{
+			name: "setting without value",
+			src:  "workload foo {\n\tseed\n}",
+			want: `t.wdl:3:1: workload foo: setting "seed": expected a value (int, float, ident or string), got '}'`,
+		},
+		{
+			name: "illegal character",
+			src:  "workload foo {\n\tseed 1 @\n}",
+			want: `t.wdl:2:9: workload foo: @`,
+		},
+		{
+			name: "unterminated string",
+			src:  "workload \"foo\nbar {}",
+			want: `t.wdl:1:10: after 'workload': expected a name (ident or string), got unterminated string`,
+		},
+		{
+			name: "unknown escape",
+			src:  `workload "a\qb" {}`,
+			want: `t.wdl:1:10: after 'workload': expected a name (ident or string), got unknown escape '\q'`,
+		},
+		{
+			name: "bad hex literal",
+			src:  "workload foo {\n\tseed 0x\n}",
+			want: `t.wdl:2:7: workload foo: setting "seed": 0x`,
+		},
+		{
+			name: "unknown setting with hint",
+			src:  "workload foo {\n\tstore_frak 0.1\n\tstream { footprint_pages 8 }\n}",
+			want: `t.wdl:2:2: workload foo: unknown setting "store_frak" (did you mean "store_frac"?)`,
+		},
+		{
+			name: "unknown stream setting with hint",
+			src:  "workload foo {\n\tstream {\n\t\tfootprint_page 8\n\t}\n}",
+			want: `t.wdl:3:3: stream block: unknown setting "footprint_page" (did you mean "footprint_pages"?)`,
+		},
+		{
+			name: "duplicate setting",
+			src:  "workload foo {\n\tseed 1\n\tseed 2\n\tstream { footprint_pages 8 }\n}",
+			want: `t.wdl:3:2: workload foo: duplicate setting "seed" (first at 2:2)`,
+		},
+		{
+			name: "duplicate workload",
+			src: "workload a.b { stream { footprint_pages 8 } }\n" +
+				"workload a.b { stream { footprint_pages 8 } }",
+			want: `t.wdl:2:10: duplicate workload "a.b" (first declared at 1:10)`,
+		},
+		{
+			name: "seed type mismatch",
+			src:  "workload foo {\n\tseed 1.5\n\tstream { footprint_pages 8 }\n}",
+			want: `t.wdl:2:7: setting "seed": expected an unsigned integer, got float "1.5"`,
+		},
+		{
+			name: "negative unsigned",
+			src:  "workload foo {\n\tstream { footprint_pages -1 }\n}",
+			want: `t.wdl:2:27: setting "footprint_pages": "-1" is not an unsigned 64-bit integer`,
+		},
+		{
+			name: "zero footprint",
+			src:  "workload foo {\n\tstream { footprint_pages 0 }\n}",
+			want: `t.wdl:2:27: stream block: footprint_pages must be positive`,
+		},
+		{
+			name: "missing footprint",
+			src:  "workload foo {\n\tstream { stride_lines 1 }\n}",
+			want: `t.wdl:2:2: stream block: missing required setting "footprint_pages"`,
+		},
+		{
+			name: "store_frac out of range",
+			src:  "workload foo {\n\tstore_frac 1.5\n\tstream { footprint_pages 8 }\n}",
+			want: `t.wdl:2:13: setting "store_frac": 1.5 out of range [0, 1]`,
+		},
+		{
+			name: "bad jump mode",
+			src:  "workload foo {\n\tstream {\n\t\tjump sideways\n\t\tfootprint_pages 8\n\t}\n}",
+			want: `t.wdl:3:8: stream block: jump must be "random" or "sequential", got "sideways"`,
+		},
+		{
+			name: "no streams",
+			src:  `workload foo { seed 1 }`,
+			want: `t.wdl:1:1: workload foo: needs at least one stream block (or a "family" shorthand)`,
+		},
+		{
+			name: "phases without len",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases {\n\t\tphase [0]\n\t}\n}",
+			want: `t.wdl:3:2: phases block needs a "len" setting (instructions per phase)`,
+		},
+		{
+			name: "phases without phase lists",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases { len 100 }\n}",
+			want: `t.wdl:3:2: phases block needs at least one "phase [...]" entry`,
+		},
+		{
+			name: "empty phase list",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases {\n\t\tlen 100\n\t\tphase []\n\t}\n}",
+			want: `t.wdl:5:3: phase list is empty (needs at least one stream index)`,
+		},
+		{
+			name: "phase index out of range",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases {\n\t\tlen 100\n\t\tphase [1]\n\t}\n}",
+			want: `t.wdl:5:10: phase list: stream index 1 out of range (workload has 1 streams)`,
+		},
+		{
+			name: "phase list bad separator",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases {\n\t\tlen 100\n\t\tphase [0 0]\n\t}\n}",
+			want: `t.wdl:5:12: phase list: expected ',' or ']', got int "0"`,
+		},
+		{
+			name: "phase list non-int",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases {\n\t\tlen 100\n\t\tphase [x]\n\t}\n}",
+			want: `t.wdl:5:10: phase list: expected int, got ident "x"`,
+		},
+		{
+			name: "duplicate phases block",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases { len 1 phase [0] }\n\tphases { len 1 phase [0] }\n}",
+			want: `t.wdl:4:2: workload foo: duplicate 'phases' block (first at 3:2)`,
+		},
+		{
+			name: "family with stream",
+			src:  "workload foo {\n\tfamily stream\n\tseed 1\n\tstream { footprint_pages 8 }\n}",
+			want: `t.wdl:4:2: workload foo: stream block conflicts with "family" (a family fully determines the generator)`,
+		},
+		{
+			name: "family with generator setting",
+			src:  "workload foo {\n\tfamily stream\n\tseed 1\n\tcode_pages 2\n}",
+			want: `t.wdl:4:2: workload foo: setting "code_pages" conflicts with "family" (a family fully determines the generator)`,
+		},
+		{
+			name: "family without seed",
+			src:  "workload foo {\n\tfamily stream\n}",
+			want: `t.wdl:2:2: workload foo: "family" requires a "seed" setting (the derivation seed)`,
+		},
+		{
+			name: "unknown family",
+			src:  "workload foo {\n\tfamily nosuch\n\tseed 1\n}",
+			want: `t.wdl:2:9: workload foo: unknown family "nosuch" (known: stream, pagehop, chase, graph, parsec, phased, qmm, hot)`,
+		},
+		{
+			name: "weight not positive",
+			src:  "workload foo {\n\tweight 0\n\tstream { footprint_pages 8 }\n}",
+			want: `t.wdl:2:9: workload foo: weight must be positive, got 0`,
+		},
+		{
+			name: "stream weight out of range",
+			src:  "workload foo {\n\tstream { footprint_pages 8 weight 0 }\n}",
+			want: `t.wdl:2:36: setting "weight": 0 out of range [1, 1048576]`,
+		},
+		{
+			name: "unexpected brace in stream",
+			src:  "workload foo {\n\tstream { [ }\n}",
+			want: `t.wdl:2:11: stream block: expected a setting or '}', got '['`,
+		},
+		{
+			name: "unclosed stream block",
+			src:  "workload foo {\n\tstream { footprint_pages 8",
+			want: `t.wdl:2:28: stream block: expected '}' to close block opened at 2:2, got end of file`,
+		},
+		{
+			name: "unclosed phases block",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases { len 1",
+			want: `t.wdl:3:16: phases block: expected '}' to close block opened at 3:2, got end of file`,
+		},
+		{
+			name: "phases junk token",
+			src:  "workload foo {\n\tstream { footprint_pages 8 }\n\tphases { len 1 [0] }\n}",
+			want: `t.wdl:3:17: phases block: expected 'len', 'phase' or '}', got '['`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseWorkloads("t.wdl", []byte(tc.src))
+			if err == nil {
+				t.Fatalf("expected error %q, got success", tc.want)
+			}
+			var werr *Error
+			if !errors.As(err, &werr) {
+				t.Fatalf("error is %T, want *wdl.Error", err)
+			}
+			if err.Error() != tc.want {
+				t.Errorf("diagnostic mismatch:\ngot:  %s\nwant: %s", err.Error(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package wdl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds collects the canonical corpus plus handwritten edge cases; both
+// fuzz targets start from the same seeds (and from the committed corpora
+// under testdata/fuzz/).
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "wdl", "*.wdl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	for _, s := range []string{
+		"",
+		"workload",
+		"workload x {",
+		`workload x { family stream seed 0x1 }`,
+		`workload a.b { seed 5e-3 stream { footprint_pages 8 } }`,
+		"workload \"a\\\"b\" { stream { footprint_pages 1 } phases { len 1 phase [0] } }",
+		"# comment only\n// another\n",
+		"workload x { stream { stride_lines -9223372036854775808 footprint_pages 18446744073709551615 } }",
+		"workload x { seed 0xFFFFFFFFFFFFFFFF stream { footprint_pages 1, } }",
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+// FuzzWDLParse asserts the front-end's total-function contract: any byte
+// string either parses+compiles or returns a positioned error — never a
+// panic, and never a silent nil/nil.
+func FuzzWDLParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws, err := ParseWorkloads("fuzz.wdl", data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error with empty message")
+			}
+			if !strings.Contains(err.Error(), "fuzz.wdl:") {
+				t.Fatalf("diagnostic lost its file position: %q", err.Error())
+			}
+			return
+		}
+		// Compiled workloads must be simulator-legal: a config that
+		// compiles but fails generator validation would panic-adjacent
+		// downstream.
+		for _, w := range ws {
+			if verr := w.Config.Validate(); verr != nil {
+				t.Fatalf("compiled config fails Validate: %v", verr)
+			}
+		}
+	})
+}
+
+// FuzzWDLRoundTrip asserts parse → print → parse is the identity on the
+// compiled form: whatever the language accepts, the printer can express
+// canonically and the compiler reproduces exactly.
+func FuzzWDLRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws, err := ParseWorkloads("fuzz.wdl", data)
+		if err != nil {
+			return
+		}
+		printed := FormatAll(ws)
+		ws2, err := ParseWorkloads("roundtrip.wdl", printed)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\nsource:\n%s", err, printed)
+		}
+		if len(ws2) != len(ws) {
+			t.Fatalf("round trip changed workload count: %d -> %d", len(ws), len(ws2))
+		}
+		for i := range ws {
+			a, b := ws[i], ws2[i]
+			if a.Name != b.Name || a.Suite != b.Suite || a.Weight != b.Weight {
+				t.Fatalf("identity drifted: %+v -> %+v", a, b)
+			}
+			if !genConfigEquivalent(a.Config, b.Config) {
+				t.Fatalf("config drifted through print:\nfirst  %+v\nsecond %+v\nprinted:\n%s",
+					a.Config, b.Config, printed)
+			}
+		}
+	})
+}

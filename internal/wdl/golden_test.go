@@ -1,0 +1,192 @@
+package wdl
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// update regenerates the canonical WDL corpus and its golden compiled
+// configs from the live registry:
+//
+//	go test ./internal/wdl -run TestWDLGolden -update
+//
+// (also exposed as `make wdl-golden`). Review the diff before committing —
+// a moved file means the language, the printer, or the generator families
+// changed behaviour.
+var update = flag.Bool("update", false, "rewrite testdata/wdl + golden compiled-config JSON")
+
+// familyWorkloads names one representative evaluation workload per
+// generator family; its canonical WDL description lives in testdata/wdl/
+// and must stay byte-identically replayable against the Go-constructed
+// twin.
+var familyWorkloads = map[string]string{
+	"stream":  "spec.stream_s00",
+	"pagehop": "spec.pagehop_s00",
+	"chase":   "spec.chase_s00",
+	"graph":   "gap.graph_s00",
+	"parsec":  "parsec.parsec_s00",
+	"phased":  "gkb5.phased_s00",
+	"qmm":     "qmm_int.qmm_s00",
+	"hot":     "spec.hot_00",
+}
+
+func familiesSorted() []string {
+	fams := make([]string, 0, len(familyWorkloads))
+	for f := range familyWorkloads {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+// goldenWorkload is the JSON shape of a compiled workload in the golden
+// corpus: identity plus the full generator config.
+type goldenWorkload struct {
+	Name   string          `json:"name"`
+	Suite  string          `json:"suite"`
+	Weight float64         `json:"weight"`
+	Config trace.GenConfig `json:"config"`
+}
+
+func wdlPath(fam string) string {
+	return filepath.Join("testdata", "wdl", fam+".wdl")
+}
+
+func goldenPath(fam string) string {
+	return filepath.Join("testdata", "golden", fam+".json")
+}
+
+func marshalGolden(t *testing.T, w trace.Workload) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(goldenWorkload{
+		Name: w.Name, Suite: w.Suite, Weight: w.Weight, Config: w.Config,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestWDLGolden pins the canonical corpus in both directions: every .wdl
+// file compiles to exactly the committed golden config JSON, and (under
+// -update) both artifacts regenerate from the registry.
+func TestWDLGolden(t *testing.T) {
+	for _, fam := range familiesSorted() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			name := familyWorkloads[fam]
+			w, ok := trace.ByName(name)
+			if !ok {
+				t.Fatalf("registry workload %s missing", name)
+			}
+			if *update {
+				for _, dir := range []string{filepath.Dir(wdlPath(fam)), filepath.Dir(goldenPath(fam))} {
+					if err := os.MkdirAll(dir, 0o755); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := os.WriteFile(wdlPath(fam), Format(w), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				// The golden JSON is the *compiled* config — regenerating it
+				// through the full parse+compile pipeline (not a straight
+				// registry dump) keeps it honest about what the language
+				// produces.
+				ws, err := ParseWorkloads(wdlPath(fam), Format(w))
+				if err != nil {
+					t.Fatalf("freshly printed corpus does not compile: %v", err)
+				}
+				if err := os.WriteFile(goldenPath(fam), marshalGolden(t, ws[0]), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			src, err := os.ReadFile(wdlPath(fam))
+			if err != nil {
+				t.Fatalf("%v (run `make wdl-golden` to generate the corpus)", err)
+			}
+			ws, err := ParseWorkloads(wdlPath(fam), src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(ws) != 1 {
+				t.Fatalf("corpus file has %d workloads, want 1", len(ws))
+			}
+			got := marshalGolden(t, ws[0])
+			want, err := os.ReadFile(goldenPath(fam))
+			if err != nil {
+				t.Fatalf("%v (run `make wdl-golden` to generate the corpus)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("compiled config drifted from golden %s:\ngot:\n%s\nwant:\n%s",
+					goldenPath(fam), got, want)
+			}
+		})
+	}
+}
+
+// TestWDLDifferentialAllFamilies is the differential acceptance suite: for
+// every generator family, the canonical .wdl description compiles to a
+// generator whose record stream is byte-identical (in the binary trace
+// encoding) to the hard-coded registry twin's. Subtests run in parallel at
+// GOMAXPROCS=4 so the suite doubles as a -race exercise of the generator
+// and compiler paths.
+func TestWDLDifferentialAllFamilies(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+
+	const instrs = 200_000
+	for _, fam := range familiesSorted() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			t.Parallel()
+			name := familyWorkloads[fam]
+			twin, ok := trace.ByName(name)
+			if !ok {
+				t.Fatalf("registry workload %s missing", name)
+			}
+			src, err := os.ReadFile(wdlPath(fam))
+			if err != nil {
+				t.Fatalf("%v (run `make wdl-golden` to generate the corpus)", err)
+			}
+			ws, err := ParseWorkloads(wdlPath(fam), src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := ws[0]
+			if got.Name != twin.Name || got.Suite != twin.Suite || got.Weight != twin.Weight {
+				t.Fatalf("identity mismatch: got %s/%s w=%v, want %s/%s w=%v",
+					got.Suite, got.Name, got.Weight, twin.Suite, twin.Name, twin.Weight)
+			}
+			gotStream := recordBytes(t, got, instrs)
+			twinStream := recordBytes(t, twin, instrs)
+			if !bytes.Equal(gotStream, twinStream) {
+				t.Fatalf("family %s: WDL-compiled stream diverges from hard-coded twin (first %d instrs)",
+					fam, instrs)
+			}
+		})
+	}
+}
+
+// recordBytes runs a workload's generator for n instructions and returns
+// the binary trace encoding — the strongest equality the trace layer can
+// express.
+func recordBytes(t *testing.T, w trace.Workload, n int) []byte {
+	t.Helper()
+	r, err := w.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, trace.Record(r, n)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,223 @@
+package wdl
+
+import (
+	"strings"
+)
+
+// lexer scans WDL source into tokens, tracking line:column for
+// diagnostics. It never fails: malformed input becomes a tokIllegal token
+// whose text explains the problem, and the parser turns that into a
+// positioned error. That keeps "no panic on any input" a property of the
+// lexer alone.
+type lexer struct {
+	src  string
+	off  int // byte offset of the next rune
+	line int // 1-based
+	col  int // 1-based, in bytes (WDL source is ASCII-oriented)
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// advance consumes one byte, maintaining the position.
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+// skipSpace consumes whitespace and comments ("#" or "//" to end of line).
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch c := l.src[l.off]; {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.peekAt(1) == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.off < len(l.src) && l.src[l.off] != '\n' {
+		l.advance()
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+// isIdentPart allows dots so evaluation-set workload names like
+// "spec.stream_s00" lex as single identifiers.
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '.' || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// next returns the next token. At end of input it returns tokEOF forever.
+func (l *lexer) next() token {
+	l.skipSpace()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: start}
+	}
+	c := l.peek()
+	switch {
+	case c == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", pos: start}
+	case c == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", pos: start}
+	case c == '[':
+		l.advance()
+		return token{kind: tokLBrack, text: "[", pos: start}
+	case c == ']':
+		l.advance()
+		return token{kind: tokRBrack, text: "]", pos: start}
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", pos: start}
+	case c == '"':
+		return l.lexString(start)
+	case isDigit(c) || c == '-' || c == '+':
+		return l.lexNumber(start)
+	case isIdentStart(c):
+		return l.lexIdent(start)
+	default:
+		l.advance()
+		return token{kind: tokIllegal, text: string(c), pos: start}
+	}
+}
+
+func (l *lexer) lexIdent(start Pos) token {
+	var sb strings.Builder
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		sb.WriteByte(l.advance())
+	}
+	return token{kind: tokIdent, text: sb.String(), pos: start}
+}
+
+// lexString scans a double-quoted string with \" and \\ escapes.
+func (l *lexer) lexString(start Pos) token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '\n' {
+			return token{kind: tokIllegal, text: "unterminated string", pos: start}
+		}
+		l.advance()
+		switch c {
+		case '"':
+			return token{kind: tokString, text: sb.String(), pos: start}
+		case '\\':
+			if l.off >= len(l.src) {
+				return token{kind: tokIllegal, text: "unterminated string", pos: start}
+			}
+			esc := l.advance()
+			switch esc {
+			case '"', '\\':
+				sb.WriteByte(esc)
+			default:
+				return token{kind: tokIllegal, text: `unknown escape '\` + string(esc) + `'`, pos: start}
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return token{kind: tokIllegal, text: "unterminated string", pos: start}
+}
+
+// lexNumber scans decimal/hex ints and floats (with optional fraction and
+// exponent, the forms strconv.FormatFloat 'g' emits). Whether the literal
+// is an int or a float decides which settings accept it; validation of the
+// numeric value itself happens in the compiler, where range context exists.
+func (l *lexer) lexNumber(start Pos) token {
+	var sb strings.Builder
+	if c := l.peek(); c == '-' || c == '+' {
+		sb.WriteByte(l.advance())
+	}
+	if !isDigit(l.peek()) {
+		return token{kind: tokIllegal, text: sb.String() + string(l.peek()), pos: start}
+	}
+	// Hex: 0x / 0X prefix, integer only.
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		sb.WriteByte(l.advance())
+		sb.WriteByte(l.advance())
+		n := 0
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			sb.WriteByte(l.advance())
+			n++
+		}
+		if n == 0 {
+			return token{kind: tokIllegal, text: sb.String(), pos: start}
+		}
+		return token{kind: tokInt, text: sb.String(), pos: start}
+	}
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		sb.WriteByte(l.advance())
+	}
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		isFloat = true
+		sb.WriteByte(l.advance())
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		mark := sb.Len()
+		sb.WriteByte(l.advance())
+		if c := l.peek(); c == '-' || c == '+' {
+			sb.WriteByte(l.advance())
+		}
+		n := 0
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			sb.WriteByte(l.advance())
+			n++
+		}
+		if n == 0 {
+			return token{kind: tokIllegal, text: sb.String()[:mark] + "e", pos: start}
+		}
+		isFloat = true
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind: kind, text: sb.String(), pos: start}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}

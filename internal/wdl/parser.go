@@ -1,0 +1,274 @@
+package wdl
+
+// The parser is single-lookahead recursive descent. It fails fast: the
+// first syntax error aborts the parse with a positioned *Error carrying an
+// expected-token hint. Semantic checks (unknown keys, duplicate settings,
+// range violations) are the compiler's job — the parser only enforces
+// shape, so the tree it hands over is structurally sound by construction.
+
+// File is a parsed WDL source file.
+type File struct {
+	// Name is the source name used in diagnostics ("-" for stdin).
+	Name      string
+	Workloads []*WorkloadDecl
+}
+
+// WorkloadDecl is one `workload name { ... }` block.
+type WorkloadDecl struct {
+	Pos      Pos
+	Name     string
+	NamePos  Pos
+	Settings []*Setting
+	Streams  []*StreamDecl
+	Phases   *PhasesDecl
+}
+
+// Setting is one `key value` pair.
+type Setting struct {
+	Key    string
+	KeyPos Pos
+	Val    Value
+}
+
+// Value is a literal: int, float, ident or string, kept as written so the
+// compiler can report the exact literal in type errors.
+type Value struct {
+	Pos  Pos
+	Kind tokKind
+	Text string
+}
+
+// StreamDecl is one `stream { ... }` block.
+type StreamDecl struct {
+	Pos      Pos
+	Settings []*Setting
+}
+
+// PhasesDecl is the `phases { len N  phase [...] ... }` block.
+type PhasesDecl struct {
+	Pos      Pos
+	Settings []*Setting
+	Lists    []*PhaseList
+}
+
+// PhaseList is one `phase [i, j, ...]` entry.
+type PhaseList struct {
+	Pos  Pos
+	Ints []IntLit
+}
+
+// IntLit is an integer literal with its position.
+type IntLit struct {
+	Pos  Pos
+	Text string
+}
+
+type parser struct {
+	file string
+	lex  *lexer
+	tok  token
+}
+
+// Parse parses WDL source. file names the source in diagnostics. The
+// returned error, if any, is a *Error with line:column and an
+// expected-token hint.
+func Parse(file string, src []byte) (*File, error) {
+	p := &parser{file: file, lex: newLexer(string(src))}
+	p.next()
+	f := &File{Name: file}
+	for p.tok.kind != tokEOF {
+		w, err := p.parseWorkload()
+		if err != nil {
+			return nil, err
+		}
+		f.Workloads = append(f.Workloads, w)
+	}
+	return f, nil
+}
+
+func (p *parser) next() { p.tok = p.lex.next() }
+
+// expect consumes a token of the given kind or fails with a hint.
+func (p *parser) expect(kind tokKind, context string) (token, error) {
+	if p.tok.kind == tokIllegal {
+		return token{}, errf(p.file, p.tok.pos, "%s: %s", context, p.tok.text)
+	}
+	if p.tok.kind != kind {
+		return token{}, errf(p.file, p.tok.pos, "%s: expected %s, got %s",
+			context, kind, p.tok.describe())
+	}
+	t := p.tok
+	p.next()
+	return t, nil
+}
+
+func (p *parser) parseWorkload() (*WorkloadDecl, error) {
+	kw := p.tok
+	if kw.kind != tokIdent || kw.text != "workload" {
+		if kw.kind == tokIllegal {
+			return nil, errf(p.file, kw.pos, "at top level: %s", kw.text)
+		}
+		return nil, errf(p.file, kw.pos,
+			"at top level: expected 'workload', got %s", kw.describe())
+	}
+	p.next()
+	w := &WorkloadDecl{Pos: kw.pos}
+	switch p.tok.kind {
+	case tokIdent, tokString:
+		w.Name, w.NamePos = p.tok.text, p.tok.pos
+		p.next()
+	default:
+		return nil, errf(p.file, p.tok.pos,
+			"after 'workload': expected a name (ident or string), got %s", p.tok.describe())
+	}
+	if _, err := p.expect(tokLBrace, "workload "+w.Name); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, errf(p.file, p.tok.pos,
+				"workload %s: expected '}' to close block opened at %s, got end of file",
+				w.Name, w.Pos)
+		case p.tok.kind == tokIllegal:
+			return nil, errf(p.file, p.tok.pos, "workload %s: %s", w.Name, p.tok.text)
+		case p.tok.kind != tokIdent:
+			return nil, errf(p.file, p.tok.pos,
+				"workload %s: expected a setting, 'stream' or 'phases', got %s",
+				w.Name, p.tok.describe())
+		case p.tok.text == "stream":
+			s, err := p.parseStream()
+			if err != nil {
+				return nil, err
+			}
+			w.Streams = append(w.Streams, s)
+		case p.tok.text == "phases":
+			if w.Phases != nil {
+				return nil, errf(p.file, p.tok.pos,
+					"workload %s: duplicate 'phases' block (first at %s)", w.Name, w.Phases.Pos)
+			}
+			ph, err := p.parsePhases()
+			if err != nil {
+				return nil, err
+			}
+			w.Phases = ph
+		default:
+			s, err := p.parseSetting("workload " + w.Name)
+			if err != nil {
+				return nil, err
+			}
+			w.Settings = append(w.Settings, s)
+		}
+	}
+	p.next() // '}'
+	return w, nil
+}
+
+// parseSetting parses `key value`; the current token is the key ident.
+func (p *parser) parseSetting(context string) (*Setting, error) {
+	key := p.tok
+	p.next()
+	switch p.tok.kind {
+	case tokInt, tokFloat, tokIdent, tokString:
+		s := &Setting{Key: key.text, KeyPos: key.pos,
+			Val: Value{Pos: p.tok.pos, Kind: p.tok.kind, Text: p.tok.text}}
+		p.next()
+		return s, nil
+	case tokIllegal:
+		return nil, errf(p.file, p.tok.pos, "%s: setting %q: %s", context, key.text, p.tok.text)
+	default:
+		return nil, errf(p.file, p.tok.pos,
+			"%s: setting %q: expected a value (int, float, ident or string), got %s",
+			context, key.text, p.tok.describe())
+	}
+}
+
+func (p *parser) parseStream() (*StreamDecl, error) {
+	s := &StreamDecl{Pos: p.tok.pos}
+	p.next() // 'stream'
+	if _, err := p.expect(tokLBrace, "stream block"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		switch p.tok.kind {
+		case tokEOF:
+			return nil, errf(p.file, p.tok.pos,
+				"stream block: expected '}' to close block opened at %s, got end of file", s.Pos)
+		case tokIllegal:
+			return nil, errf(p.file, p.tok.pos, "stream block: %s", p.tok.text)
+		case tokIdent:
+			st, err := p.parseSetting("stream block")
+			if err != nil {
+				return nil, err
+			}
+			s.Settings = append(s.Settings, st)
+		default:
+			return nil, errf(p.file, p.tok.pos,
+				"stream block: expected a setting or '}', got %s", p.tok.describe())
+		}
+	}
+	p.next() // '}'
+	return s, nil
+}
+
+func (p *parser) parsePhases() (*PhasesDecl, error) {
+	ph := &PhasesDecl{Pos: p.tok.pos}
+	p.next() // 'phases'
+	if _, err := p.expect(tokLBrace, "phases block"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, errf(p.file, p.tok.pos,
+				"phases block: expected '}' to close block opened at %s, got end of file", ph.Pos)
+		case p.tok.kind == tokIllegal:
+			return nil, errf(p.file, p.tok.pos, "phases block: %s", p.tok.text)
+		case p.tok.kind != tokIdent:
+			return nil, errf(p.file, p.tok.pos,
+				"phases block: expected 'len', 'phase' or '}', got %s", p.tok.describe())
+		case p.tok.text == "phase":
+			pos := p.tok.pos
+			p.next()
+			lst, err := p.parseIntList()
+			if err != nil {
+				return nil, err
+			}
+			ph.Lists = append(ph.Lists, &PhaseList{Pos: pos, Ints: lst})
+		default:
+			st, err := p.parseSetting("phases block")
+			if err != nil {
+				return nil, err
+			}
+			ph.Settings = append(ph.Settings, st)
+		}
+	}
+	p.next() // '}'
+	return ph, nil
+}
+
+// parseIntList parses `[ int { "," int } ]` (an empty list is legal syntax;
+// the compiler rejects empty phases with a semantic diagnostic).
+func (p *parser) parseIntList() ([]IntLit, error) {
+	if _, err := p.expect(tokLBrack, "phase list"); err != nil {
+		return nil, err
+	}
+	var out []IntLit
+	for p.tok.kind != tokRBrack {
+		t, err := p.expect(tokInt, "phase list")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IntLit{Pos: t.pos, Text: t.text})
+		if p.tok.kind == tokComma {
+			p.next()
+			continue
+		}
+		if p.tok.kind != tokRBrack {
+			return nil, errf(p.file, p.tok.pos,
+				"phase list: expected ',' or ']', got %s", p.tok.describe())
+		}
+	}
+	p.next() // ']'
+	return out, nil
+}

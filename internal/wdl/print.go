@@ -1,0 +1,127 @@
+package wdl
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Format renders a workload in canonical WDL. The output parses and
+// compiles back to an identical generator configuration: floats are printed
+// with strconv's shortest round-tripping form, seeds in hex, and every
+// field that affects the generated stream is written explicitly (fields at
+// their zero value are omitted — the compiler's defaults reproduce them).
+//
+// One representational caveat: an empty-but-non-nil phase table (which a
+// few generator families build) behaves identically to no phase table and
+// prints as none; the compiled twin generates a byte-identical stream.
+func Format(w trace.Workload) []byte {
+	var b bytes.Buffer
+	fprintWorkload(&b, w)
+	return b.Bytes()
+}
+
+// FormatAll renders several workloads into one file, blank-line separated.
+func FormatAll(ws []trace.Workload) []byte {
+	var b bytes.Buffer
+	for i, w := range ws {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fprintWorkload(&b, w)
+	}
+	return b.Bytes()
+}
+
+func fprintWorkload(b *bytes.Buffer, w trace.Workload) {
+	fmt.Fprintf(b, "workload %s {\n", quoteName(w.Name))
+	if w.Suite != "" {
+		fmt.Fprintf(b, "\tsuite %s\n", quoteName(w.Suite))
+	}
+	if w.Weight != 0 && w.Weight != 1 {
+		fmt.Fprintf(b, "\tweight %s\n", formatFloat(w.Weight))
+	}
+	cfg := w.Config
+	fmt.Fprintf(b, "\tseed 0x%X\n", cfg.Seed)
+	if cfg.ComputePerMem != 0 {
+		fmt.Fprintf(b, "\tcompute_per_mem %d\n", cfg.ComputePerMem)
+	}
+	if cfg.StoreFrac != 0 {
+		fmt.Fprintf(b, "\tstore_frac %s\n", formatFloat(cfg.StoreFrac))
+	}
+	if cfg.HardBranchFrac != 0 {
+		fmt.Fprintf(b, "\thard_branch_frac %s\n", formatFloat(cfg.HardBranchFrac))
+	}
+	if cfg.CodePages != 0 {
+		fmt.Fprintf(b, "\tcode_pages %d\n", cfg.CodePages)
+	}
+	for _, s := range cfg.Streams {
+		b.WriteString("\n\tstream {\n")
+		if s.StrideLines != 0 {
+			fmt.Fprintf(b, "\t\tstride_lines %d\n", s.StrideLines)
+		}
+		if s.RunLines != 0 {
+			fmt.Fprintf(b, "\t\trun_lines %d\n", s.RunLines)
+		}
+		if s.JumpRandom {
+			b.WriteString("\t\tjump random\n")
+		}
+		fmt.Fprintf(b, "\t\tfootprint_pages %d\n", s.FootprintPages)
+		if s.Weight != 1 {
+			fmt.Fprintf(b, "\t\tweight %d\n", s.Weight)
+		}
+		b.WriteString("\t}\n")
+	}
+	if len(cfg.Phases) > 0 {
+		b.WriteString("\n\tphases {\n")
+		fmt.Fprintf(b, "\t\tlen %d\n", cfg.PhaseLen)
+		for _, p := range cfg.Phases {
+			parts := make([]string, len(p))
+			for i, id := range p {
+				parts[i] = strconv.Itoa(id)
+			}
+			fmt.Fprintf(b, "\t\tphase [%s]\n", strings.Join(parts, ", "))
+		}
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+}
+
+// quoteName renders a workload/suite name as a bare ident when the lexer
+// would read it back as one, and as a quoted string otherwise.
+func quoteName(name string) string {
+	if isBareIdent(name) {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '"' || c == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func isBareIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// formatFloat prints the shortest decimal that round-trips to exactly f.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,12 @@
+workload spec.chase_s00 {
+	suite spec
+	weight 0.4984195237776781
+	seed 0x861005272C6E5B9F
+	compute_per_mem 4
+	hard_branch_frac 0.15
+	code_pages 1
+
+	stream {
+		footprint_pages 56545
+	}
+}

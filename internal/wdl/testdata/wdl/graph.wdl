@@ -1,0 +1,22 @@
+workload gap.graph_s00 {
+	suite gap
+	weight 0.4906430131930319
+	seed 0xF74615B2F8FF243F
+	compute_per_mem 3
+	store_frac 0.01706152064320497
+	hard_branch_frac 0.05
+	code_pages 1
+
+	stream {
+		stride_lines 1
+		footprint_pages 5596
+	}
+
+	stream {
+		stride_lines 1
+		run_lines 26
+		jump random
+		footprint_pages 47940
+		weight 2
+	}
+}

@@ -1,0 +1,12 @@
+workload spec.hot_00 {
+	suite spec
+	weight 0.8489191782478998
+	seed 0x4592D8B2EE8CA126
+	compute_per_mem 8
+	code_pages 1
+
+	stream {
+		stride_lines 2
+		footprint_pages 24
+	}
+}

@@ -1,0 +1,16 @@
+workload spec.pagehop_s00 {
+	suite spec
+	weight 0.7517688926369404
+	seed 0x204ECF2550B0ACA2
+	compute_per_mem 2
+	store_frac 0.024137736073180194
+	code_pages 1
+
+	stream {
+		stride_lines 2
+		run_lines 32
+		jump random
+		footprint_pages 25959
+		weight 3
+	}
+}

@@ -1,0 +1,23 @@
+workload parsec.parsec_s00 {
+	suite parsec
+	weight 0.6496107200214027
+	seed 0x81B8FD3279388018
+	compute_per_mem 4
+	store_frac 0.12074896602449697
+	code_pages 1
+
+	stream {
+		stride_lines 2
+		footprint_pages 5659
+	}
+
+	stream {
+		stride_lines 1
+		footprint_pages 2475
+	}
+
+	stream {
+		stride_lines 1
+		footprint_pages 7662
+	}
+}

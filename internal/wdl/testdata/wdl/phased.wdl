@@ -1,0 +1,33 @@
+workload gkb5.phased_s00 {
+	suite gkb5
+	weight 0.12045569668677489
+	seed 0x34C5FE17F0C74C63
+	compute_per_mem 2
+	store_frac 0.07741063122345004
+	hard_branch_frac 0.1
+	code_pages 5
+
+	stream {
+		stride_lines 1
+		footprint_pages 4375
+	}
+
+	stream {
+		stride_lines 1
+		run_lines 64
+		jump random
+		footprint_pages 30546
+	}
+
+	stream {
+		footprint_pages 5811
+	}
+
+	phases {
+		len 41994
+		phase [0]
+		phase [1]
+		phase [0, 1]
+		phase [2]
+	}
+}

@@ -1,0 +1,21 @@
+workload qmm_int.qmm_s00 {
+	suite qmm_int
+	weight 0.5236334554099181
+	seed 0x7F2F5171523DDAFF
+	compute_per_mem 1
+	store_frac 0.14181074307490704
+	hard_branch_frac 0.2
+	code_pages 3
+
+	stream {
+		stride_lines 2
+		run_lines 56
+		jump random
+		footprint_pages 1046
+	}
+
+	stream {
+		stride_lines 4
+		footprint_pages 2846
+	}
+}

@@ -1,0 +1,19 @@
+workload spec.stream_s00 {
+	suite spec
+	weight 0.4217480976908116
+	seed 0x80D515DDD19AE560
+	compute_per_mem 5
+	store_frac 0.030228236636144157
+	code_pages 2
+
+	stream {
+		stride_lines 2
+		footprint_pages 14981
+		weight 2
+	}
+
+	stream {
+		stride_lines 3
+		footprint_pages 3439
+	}
+}

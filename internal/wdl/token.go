@@ -1,0 +1,124 @@
+// Package wdl implements the workload description language: a small
+// declarative text format that composes the synthetic workload families of
+// the evaluation — access streams, phase schedules, multi-tenant
+// interleavings — without touching Go. The pipeline is the classic
+// template-compiler shape: a lexer turns source bytes into positioned
+// tokens, a recursive-descent parser builds a syntax tree with line:column
+// diagnostics, and a semantic compiler validates the tree and lowers it to
+// trace.GenConfig values the simulator already consumes. A printer emits
+// the canonical form, so every compiled workload round-trips
+// (parse → print → parse) to an identical configuration.
+//
+// The grammar (EBNF; see DESIGN.md §12 for the mapping to the paper's
+// workload classes):
+//
+//	file      = { workload } .
+//	workload  = "workload" name "{" { stmt } "}" .
+//	name      = ident | string .
+//	stmt      = setting | stream | phases .
+//	setting   = key value .
+//	stream    = "stream" "{" { setting } "}" .
+//	phases    = "phases" "{" { setting | "phase" list } "}" .
+//	list      = "[" [ int { "," int } ] "]" .
+//	value     = int | float | ident | string .
+//
+// Comments run from "#" or "//" to end of line. Statements are
+// self-delimiting (every key takes exactly one value), so no separators are
+// needed and whitespace is free-form.
+package wdl
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// tokKind classifies a token.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokLBrace
+	tokRBrace
+	tokLBrack
+	tokRBrack
+	tokComma
+	tokIllegal
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "ident"
+	case tokInt:
+		return "int"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokComma:
+		return "','"
+	default:
+		return "illegal token"
+	}
+}
+
+// token is one lexeme with its source position. Text is the literal as
+// written (for tokString, with the quotes and escapes already resolved).
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// describe renders a token for an error message: kind plus the literal, so
+// "expected int, got ident \"random\"" tells the user what the parser saw.
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF, tokLBrace, tokRBrace, tokLBrack, tokRBrack, tokComma:
+		return t.kind.String()
+	case tokIllegal:
+		// The lexer's text is already a human-readable message
+		// ("unterminated string", "unknown escape '\q'").
+		return t.text
+	default:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+}
+
+// Error is a positioned WDL diagnostic. It formats as file:line:col: msg,
+// the convention editors and CI log scrapers understand.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+// errf builds a positioned diagnostic.
+func errf(file string, pos Pos, format string, args ...any) *Error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

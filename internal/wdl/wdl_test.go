@@ -1,0 +1,208 @@
+package wdl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mustParse(t *testing.T, src string) []trace.Workload {
+	t.Helper()
+	ws, err := ParseWorkloads("test.wdl", []byte(src))
+	if err != nil {
+		t.Fatalf("ParseWorkloads: %v", err)
+	}
+	return ws
+}
+
+func TestCompileExplicitForm(t *testing.T) {
+	ws := mustParse(t, `
+# A two-stream phased workload with every setting spelled out.
+workload spec.custom_00 {
+	suite spec
+	weight 0.75
+	seed 0xDEADBEEF
+	compute_per_mem 3
+	store_frac 0.25
+	hard_branch_frac 0.1
+	code_pages 2
+
+	stream {
+		stride_lines 2
+		footprint_pages 4096
+		weight 2
+	}
+	stream {
+		stride_lines 1
+		run_lines 64
+		jump random
+		footprint_pages 8192
+	}
+
+	phases {
+		len 20000
+		phase [0]
+		phase [0, 1]
+	}
+}
+`)
+	if len(ws) != 1 {
+		t.Fatalf("got %d workloads, want 1", len(ws))
+	}
+	w := ws[0]
+	if w.Name != "spec.custom_00" || w.Suite != "spec" || w.Weight != 0.75 {
+		t.Fatalf("identity mismatch: %+v", w)
+	}
+	want := trace.GenConfig{
+		Seed:           0xDEADBEEF,
+		ComputePerMem:  3,
+		StoreFrac:      0.25,
+		HardBranchFrac: 0.1,
+		CodePages:      2,
+		Streams: []trace.StreamSpec{
+			{StrideLines: 2, FootprintPages: 4096, Weight: 2},
+			{StrideLines: 1, RunLines: 64, JumpRandom: true, FootprintPages: 8192, Weight: 1},
+		},
+		Phases:   [][]int{{0}, {0, 1}},
+		PhaseLen: 20000,
+	}
+	if !reflect.DeepEqual(w.Config, want) {
+		t.Fatalf("config mismatch:\ngot  %+v\nwant %+v", w.Config, want)
+	}
+}
+
+func TestCompileDefaults(t *testing.T) {
+	ws := mustParse(t, `workload gap.mini { stream { footprint_pages 16 } }`)
+	w := ws[0]
+	if w.Suite != "gap" {
+		t.Fatalf("suite not derived from name: %q", w.Suite)
+	}
+	if w.Weight != 1 {
+		t.Fatalf("default weight: %g", w.Weight)
+	}
+	if !w.MemoryIntensive {
+		t.Fatal("workloads default to memory-intensive")
+	}
+	if w.Config.Streams[0].Weight != 1 {
+		t.Fatalf("default stream weight: %d", w.Config.Streams[0].Weight)
+	}
+	// A dotless name falls into the generic suite.
+	ws = mustParse(t, `workload solo { stream { footprint_pages 16 } }`)
+	if ws[0].Suite != "wdl" {
+		t.Fatalf("dotless suite: %q", ws[0].Suite)
+	}
+}
+
+func TestCompileFamilyShorthand(t *testing.T) {
+	for _, fam := range trace.Families() {
+		src := `workload spec.short { family ` + fam + ` seed 0x1234 }`
+		ws := mustParse(t, src)
+		want, err := trace.FamilyConfig(fam, 0x1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ws[0].Config, want) {
+			t.Fatalf("family %s: shorthand config differs from FamilyConfig", fam)
+		}
+	}
+}
+
+func TestCompileMultipleWorkloads(t *testing.T) {
+	ws := mustParse(t, `
+workload a.one { stream { footprint_pages 8 } }
+workload "b.two" { stream { footprint_pages 8 } }
+`)
+	if len(ws) != 2 || ws[0].Name != "a.one" || ws[1].Name != "b.two" {
+		t.Fatalf("got %+v", ws)
+	}
+}
+
+func TestCommentsAndSeparators(t *testing.T) {
+	// Comments in both styles, CRLF, and one-line cramming all lex away.
+	ws := mustParse(t, "workload x.y { // trailing\r\n # full line\n stream { footprint_pages 8 } }")
+	if len(ws) != 1 {
+		t.Fatal("comment handling broke the parse")
+	}
+	one := mustParse(t, `workload x.y { seed 7 stream { footprint_pages 8 weight 3 } }`)
+	if one[0].Config.Seed != 7 || one[0].Config.Streams[0].Weight != 3 {
+		t.Fatalf("one-line form: %+v", one[0].Config)
+	}
+}
+
+func TestFormatRoundTripsRegistry(t *testing.T) {
+	// Every workload of the full evaluation registry survives
+	// print → parse → compile with an identical stream-determining config.
+	for _, w := range trace.All() {
+		ws, err := ParseWorkloads(w.Name+".wdl", Format(w))
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\nsource:\n%s", w.Name, err, Format(w))
+		}
+		got := ws[0]
+		if got.Name != w.Name || got.Suite != w.Suite || got.Weight != w.Weight {
+			t.Fatalf("%s: identity drifted: %+v", w.Name, got)
+		}
+		if !genConfigEquivalent(got.Config, w.Config) {
+			t.Fatalf("%s: config drifted:\ngot  %+v\nwant %+v", w.Name, got.Config, w.Config)
+		}
+	}
+}
+
+// genConfigEquivalent is DeepEqual modulo the empty-vs-nil phase-table
+// representation (both mean "all streams, always" and generate identical
+// streams).
+func genConfigEquivalent(a, b trace.GenConfig) bool {
+	if len(a.Phases) == 0 && len(b.Phases) == 0 {
+		a.Phases, b.Phases = nil, nil
+		// PhaseLen is inert without phases.
+		if a.PhaseLen == 0 && b.PhaseLen == 0 {
+			a.PhaseLen, b.PhaseLen = 0, 0
+		}
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestQuotedNames(t *testing.T) {
+	ws := mustParse(t, `workload "weird name \"x\" \\ here" { stream { footprint_pages 8 } }`)
+	if ws[0].Name != `weird name "x" \ here` {
+		t.Fatalf("escape handling: %q", ws[0].Name)
+	}
+	// And the printer quotes it back into parseable form.
+	ws2, err := ParseWorkloads("again", Format(ws[0]))
+	if err != nil {
+		t.Fatalf("re-parse of quoted name: %v", err)
+	}
+	if ws2[0].Name != ws[0].Name {
+		t.Fatalf("name did not round-trip: %q", ws2[0].Name)
+	}
+}
+
+func TestNumericForms(t *testing.T) {
+	ws := mustParse(t, `
+workload n.forms {
+	seed 0xABCDEF0123456789
+	store_frac 5e-05
+	stream {
+		stride_lines -2
+		footprint_pages 16
+	}
+}`)
+	cfg := ws[0].Config
+	if cfg.Seed != 0xABCDEF0123456789 {
+		t.Fatalf("hex seed: %x", cfg.Seed)
+	}
+	if cfg.StoreFrac != 5e-05 {
+		t.Fatalf("exponent float: %g", cfg.StoreFrac)
+	}
+	if cfg.Streams[0].StrideLines != -2 {
+		t.Fatalf("negative stride: %d", cfg.Streams[0].StrideLines)
+	}
+}
+
+func TestSuggestHints(t *testing.T) {
+	_, err := ParseWorkloads("t.wdl", []byte(`workload a.b { store_frak 0.1 stream { footprint_pages 8 } }`))
+	if err == nil || !strings.Contains(err.Error(), `did you mean "store_frac"?`) {
+		t.Fatalf("expected did-you-mean hint, got: %v", err)
+	}
+}
