@@ -53,6 +53,17 @@ type Exec struct {
 	// cells stay cacheable and their eventual results identical to a
 	// fault-free run.
 	CellFault func(ctx context.Context, cellID string, attempt int) error
+	// Backend is where cell attempts execute (nil = Local(), in-process).
+	// The engine borrows the backend for the duration of the run and never
+	// closes it; its creator owns the lifetime, so one backend (and its
+	// worker fleet) can serve many campaigns.
+	Backend Backend
+	// OnEvent, when non-nil, receives the campaign's typed event stream:
+	// cell lifecycle events from the engine and worker lifecycle events
+	// from the backend, serialised into one totally ordered sequence.
+	// Like OnProgress it is called from worker goroutines — callbacks must
+	// be safe for concurrent use and return quickly.
+	OnEvent func(Event)
 }
 
 func (e Exec) withDefaults() Exec {
@@ -93,6 +104,14 @@ func WithCellFault(fn func(ctx context.Context, cellID string, attempt int) erro
 	return func(e *Exec) { e.CellFault = fn }
 }
 
+// WithBackend selects where cell attempts execute (see Exec.Backend). The
+// engine does not close the backend; the caller owns its lifetime.
+func WithBackend(b Backend) Option { return func(e *Exec) { e.Backend = b } }
+
+// WithEvents installs a callback for the campaign's typed event stream
+// (see Exec.OnEvent).
+func WithEvents(fn func(Event)) Option { return func(e *Exec) { e.OnEvent = fn } }
+
 // Progress is one OnProgress snapshot: how much of the campaign has
 // retired, partitioned by where each cell's result came from. Done counts
 // both completions and ledgered failures, so Done == Total exactly when the
@@ -107,10 +126,6 @@ type Progress struct {
 	// LastCell is the cell whose retirement triggered this snapshot.
 	LastCell string `json:"last_cell,omitempty"`
 }
-
-// WithExec replaces the whole execution policy at once — the bridge for
-// callers (the experiments harness) that already carry an Exec.
-func WithExec(ex Exec) Option { return func(e *Exec) { *e = ex } }
 
 // Failure is one failure-ledger entry: which cell failed, with what error,
 // after how many attempts.
@@ -220,9 +235,15 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
 		defer man.Close()
 	}
 
+	backend := ex.Backend
+	if backend == nil {
+		backend = Local()
+	}
 	e := &engine{
 		ctx:     ctx,
 		ex:      ex,
+		backend: backend,
+		events:  &eventSink{fn: ex.OnEvent},
 		cells:   spec.Cells,
 		store:   store,
 		resumed: resumed,
@@ -282,6 +303,8 @@ func (s *shard) stealHalf() []int {
 type engine struct {
 	ctx     context.Context
 	ex      Exec
+	backend Backend
+	events  *eventSink
 	cells   []Cell
 	store   *Store
 	resumed map[string]ManifestEntry
@@ -455,6 +478,7 @@ func (e *engine) exec(ci int) {
 		// it, and a drifted config simply computes a key that is absent.
 		if ent, ok := e.resumed[string(key)]; ok {
 			e.record(c, ent.Runs, &e.rep.Resumed)
+			e.events.emit(Event{Kind: EventCellResumed, Cell: c.ID})
 			e.notify(c.ID)
 			return
 		}
@@ -462,11 +486,13 @@ func (e *engine) exec(ci int) {
 			if runs, ok := e.store.Get(key); ok {
 				e.record(c, runs, &e.rep.CacheHits)
 				e.checkpoint(c.ID, key, runs)
+				e.events.emit(Event{Kind: EventCellCached, Cell: c.ID})
 				e.notify(c.ID)
 				return
 			}
 		}
 	}
+	e.events.emit(Event{Kind: EventCellStarted, Cell: c.ID})
 	runs, attempts, err := e.simulate(c)
 	if err != nil {
 		if e.ctx.Err() != nil && errors.Is(err, e.ctx.Err()) {
@@ -475,10 +501,12 @@ func (e *engine) exec(ci int) {
 		e.mu.Lock()
 		e.rep.Failures = append(e.rep.Failures, Failure{ID: c.ID, Attempts: attempts, Err: err})
 		e.mu.Unlock()
+		e.events.emit(Event{Kind: EventCellFailed, Cell: c.ID, Attempt: attempts, Err: err.Error()})
 		e.notify(c.ID)
 		return
 	}
 	e.record(c, runs, &e.rep.Simulated)
+	e.events.emit(Event{Kind: EventCellCompleted, Cell: c.ID, Attempt: attempts})
 	if kerr == nil {
 		if e.store != nil {
 			// Best-effort: a full disk costs future cache hits, not results.
@@ -532,7 +560,9 @@ func (e *engine) checkpoint(id string, key Key, runs []*stats.Run) {
 // simulate runs one cell with retry-on-retryable and linear backoff — the
 // same fault-isolation contract as the experiments matrix runner. The
 // Exec.CellFault hook runs before each attempt; its error counts as that
-// attempt's outcome without the simulation ever starting.
+// attempt's outcome without the simulation ever starting. Each attempt
+// goes to the execution backend under its own RunTimeout-bounded context,
+// so the timeout and retry policy are uniform across backends.
 func (e *engine) simulate(c *Cell) (runs []*stats.Run, attempts int, err error) {
 	for attempts = 1; ; attempts++ {
 		runs, err = nil, nil
@@ -540,11 +570,12 @@ func (e *engine) simulate(c *Cell) (runs []*stats.Run, attempts int, err error) 
 			err = e.ex.CellFault(e.ctx, c.ID, attempts)
 		}
 		if err == nil {
-			runs, err = e.simOnce(c)
+			runs, err = e.execOnce(c)
 		}
 		if err == nil || !sim.Retryable(err) || attempts > e.ex.Retries || e.ctx.Err() != nil {
 			return runs, attempts, err
 		}
+		e.events.emit(Event{Kind: EventCellRetried, Cell: c.ID, Attempt: attempts + 1, Err: err.Error()})
 		if delay := e.ex.RetryBackoff * time.Duration(attempts); delay > 0 {
 			t := time.NewTimer(delay)
 			select {
@@ -557,51 +588,14 @@ func (e *engine) simulate(c *Cell) (runs []*stats.Run, attempts int, err error) 
 	}
 }
 
-// simOnce runs one attempt, converting panics into *sim.RunError so a
-// poisoned cell cannot take the campaign down. A FailFast checker's
-// *sim.CheckError panic is a first-class verdict about the simulator, not
-// a crash: it lands under the "check" stage so CheckFailure can tell
-// correctness violations from environmental failures.
-func (e *engine) simOnce(c *Cell) (runs []*stats.Run, err error) {
-	// RunError labels carry the workload name for single-core cells (what
-	// the experiments ledger reports) and the cell ID for mixes.
-	label := c.ID
-	if !c.isMix() {
-		label = c.Workload.Name
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			runs = nil
-			if ce, ok := r.(*sim.CheckError); ok {
-				err = &sim.RunError{Workload: label, Stage: "check", Err: ce}
-				return
-			}
-			err = &sim.RunError{
-				Workload: label, Stage: "measure", Panicked: true,
-				Err: fmt.Errorf("recovered panic: %v", r),
-			}
-		}
-	}()
+// execOnce hands one attempt to the backend under a RunTimeout-bounded
+// context.
+func (e *engine) execOnce(c *Cell) ([]*stats.Run, error) {
 	ctx := e.ctx
 	if e.ex.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.ex.RunTimeout)
 		defer cancel()
 	}
-	if c.isMix() {
-		ms, merr := sim.NewMulti(*c.Multi)
-		if merr != nil {
-			return nil, &sim.RunError{Workload: c.ID, Stage: "setup", Err: merr}
-		}
-		runs, err = ms.RunMix(ctx, c.Mix)
-		if err != nil {
-			return nil, err
-		}
-		return runs, nil
-	}
-	run, rerr := sim.RunWorkload(ctx, c.Config, c.Workload)
-	if rerr != nil {
-		return nil, rerr
-	}
-	return []*stats.Run{run}, nil
+	return e.backend.ExecuteCell(ctx, c, e.events.emit)
 }

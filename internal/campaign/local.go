@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// localBackend executes cells in-process on the calling goroutine. It is
+// stateless: concurrency, retries, timeouts, cache and manifest all live
+// in the engine, so this backend is exactly the pre-backend engine's
+// simulation step. The proc backend's workers reuse it on the far side of
+// the wire, which is what keeps proc results byte-identical to local ones.
+type localBackend struct{}
+
+// Local returns the in-process execution backend (the default when no
+// WithBackend option is given). The returned backend is shared and
+// stateless; Close is a no-op.
+func Local() Backend { return localBackend{} }
+
+func (localBackend) Close() error { return nil }
+
+// ExecuteCell runs one attempt of c, converting panics into *sim.RunError
+// so a poisoned cell cannot take the campaign down. A FailFast checker's
+// *sim.CheckError panic is a first-class verdict about the simulator, not
+// a crash: it lands under the "check" stage so CheckFailure can tell
+// correctness violations from environmental failures.
+func (localBackend) ExecuteCell(ctx context.Context, c *Cell, _ EventSink) (runs []*stats.Run, err error) {
+	// RunError labels carry the workload name for single-core cells (what
+	// the experiments ledger reports) and the cell ID for mixes.
+	label := c.ID
+	if !c.isMix() {
+		label = c.Workload.Name
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			runs = nil
+			if ce, ok := r.(*sim.CheckError); ok {
+				err = &sim.RunError{Workload: label, Stage: "check", Err: ce}
+				return
+			}
+			err = &sim.RunError{
+				Workload: label, Stage: "measure", Panicked: true,
+				Err: fmt.Errorf("recovered panic: %v", r),
+			}
+		}
+	}()
+	if c.isMix() {
+		ms, merr := sim.NewMulti(*c.Multi)
+		if merr != nil {
+			return nil, &sim.RunError{Workload: c.ID, Stage: "setup", Err: merr}
+		}
+		runs, err = ms.RunMix(ctx, c.Mix)
+		if err != nil {
+			return nil, err
+		}
+		return runs, nil
+	}
+	run, rerr := sim.RunWorkload(ctx, c.Config, c.Workload)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return []*stats.Run{run}, nil
+}

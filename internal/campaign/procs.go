@@ -1,0 +1,290 @@
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// ProcConfig configures a process-per-shard backend.
+type ProcConfig struct {
+	// Workers is the subprocess fleet size (0 = the engine pool width is
+	// unknown here, so NumCPU via Exec defaulting doesn't apply — 0 means
+	// 1 worker minimum is enforced at spawn admission; in practice
+	// ParseBackend passes the engine width).
+	Workers int
+	// Command is the worker argv; nil or empty defaults to re-executing
+	// the current binary (os.Executable), which must call
+	// campaign.MaybeWorker first thing in main.
+	Command []string
+}
+
+// ProcBackend executes cells on a fleet of worker subprocesses sharing
+// the parent's on-disk content-addressed cache (the parent engine does
+// all cache reads and writes; workers only simulate). Workers are spawned
+// lazily, one cell in flight per worker, and a worker that dies mid-cell
+// surfaces the cell as a retryable *WorkerCrashError — the engine's
+// recover/retry ledger then re-runs it, and the backend spawns a
+// replacement shard on demand.
+type ProcBackend struct {
+	cfg ProcConfig
+
+	// slots is the admission gate: one token per fleet seat. A nil token
+	// means "seat empty, spawn on demand"; a non-nil token is an idle,
+	// live worker ready for its next cell.
+	slots chan *procWorker
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	live   map[*procWorker]struct{}
+}
+
+// NewProcBackend builds a process-per-shard backend. No subprocess starts
+// until the first cell arrives. Close kills and reaps the fleet.
+func NewProcBackend(cfg ProcConfig) *ProcBackend {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	b := &ProcBackend{
+		cfg:   cfg,
+		slots: make(chan *procWorker, cfg.Workers),
+		live:  map[*procWorker]struct{}{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		b.slots <- nil
+	}
+	return b
+}
+
+// procWorker is one worker subprocess: its stdio pipes and identity.
+type procWorker struct {
+	id  string
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Reader
+
+	killOnce sync.Once
+}
+
+// kill terminates the subprocess (idempotent); the pending pipe read in
+// roundTrip then fails, which is how both cancellation and Close preempt
+// a worker.
+func (w *procWorker) kill() {
+	w.killOnce.Do(func() {
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+	})
+}
+
+// ExecuteCell implements Backend. FaultInject cells carry live
+// in-process hook state that cannot cross a process boundary, so they
+// run on the local backend instead — same recover semantics, no wire.
+func (b *ProcBackend) ExecuteCell(ctx context.Context, c *Cell, emit EventSink) ([]*stats.Run, error) {
+	if faultInjected(c) {
+		return Local().ExecuteCell(ctx, c, emit)
+	}
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		// Close drained the slot tokens; without this check a late call
+		// would block on the empty channel instead of failing fast.
+		return nil, fatalErrorf("campaign: proc backend is closed")
+	}
+	var w *procWorker
+	select {
+	case w = <-b.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if w == nil {
+		var err error
+		if w, err = b.spawn(emit); err != nil {
+			b.slots <- nil
+			// A binary that cannot start will not start on retry either.
+			return nil, fatalErrorf("campaign: spawning worker: %v", err)
+		}
+	}
+	runs, err := b.roundTrip(ctx, w, c, emit)
+	return runs, err
+}
+
+// spawn starts one worker subprocess and registers it in the fleet.
+func (b *ProcBackend) spawn(emit EventSink) (*procWorker, error) {
+	argv := b.cfg.Command
+	if len(argv) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv = []string{self}
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("backend is closed")
+	}
+	b.nextID++
+	id := fmt.Sprintf("proc-%d", b.nextID)
+	b.mu.Unlock()
+
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), workerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		in.Close()
+		return nil, err
+	}
+	w := &procWorker{id: id, cmd: cmd, in: in, out: bufio.NewReader(out)}
+	b.mu.Lock()
+	if b.closed {
+		// Lost the race with Close: tear the fresh worker down again.
+		b.mu.Unlock()
+		w.kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("backend is closed")
+	}
+	b.live[w] = struct{}{}
+	b.mu.Unlock()
+	if emit != nil {
+		emit(Event{Kind: EventWorkerJoined, Worker: id})
+	}
+	return w, nil
+}
+
+// destroy kills, reaps and unregisters one worker, emitting worker-died.
+func (b *ProcBackend) destroy(w *procWorker, emit EventSink) {
+	w.kill()
+	_ = w.cmd.Wait()
+	b.mu.Lock()
+	delete(b.live, w)
+	b.mu.Unlock()
+	if emit != nil {
+		emit(Event{Kind: EventWorkerDied, Worker: w.id})
+	}
+}
+
+// roundTrip ships one cell to w and waits for its result. On success the
+// worker returns to the idle pool; on any wire failure the worker is
+// destroyed, its seat reopens empty, and the cell comes back as a
+// retryable *WorkerCrashError (unless ctx ended — then the ctx error
+// stands, matching the local backend's cancellation semantics).
+func (b *ProcBackend) roundTrip(ctx context.Context, w *procWorker, c *Cell, emit EventSink) ([]*stats.Run, error) {
+	// A cancelled or timed-out ctx kills the subprocess: that unblocks the
+	// pipe read below, and a fresh worker takes this seat later.
+	stop := context.AfterFunc(ctx, w.kill)
+	defer stop()
+
+	fail := func(err error) ([]*stats.Run, error) {
+		b.destroy(w, emit)
+		b.slots <- nil
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &WorkerCrashError{Worker: w.id, Cell: c.ID, Err: err}
+	}
+
+	req, err := json.Marshal(requestOf(c))
+	if err != nil {
+		b.slots <- w // nothing was written; the worker is still coherent
+		return nil, fatalErrorf("campaign: encoding cell %s: %v", c.ID, err)
+	}
+	if err := writeFrame(w.in, req); err != nil {
+		return fail(err)
+	}
+	payload, err := readFrame(w.out)
+	if err != nil {
+		return fail(err)
+	}
+	var resp procResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return fail(fmt.Errorf("corrupt response: %w", err))
+	}
+	if resp.ID != c.ID {
+		return fail(fmt.Errorf("response for cell %q, want %q", resp.ID, c.ID))
+	}
+	b.slots <- w
+	if resp.Err != nil {
+		return nil, resp.Err.decode()
+	}
+	return resp.Runs, nil
+}
+
+// Close kills every live worker, reaps the processes and closes the
+// backend. In-flight cells fail (their campaign is presumably being torn
+// down); subsequent ExecuteCell calls error.
+func (b *ProcBackend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	workers := make([]*procWorker, 0, len(b.live))
+	for w := range b.live {
+		workers = append(workers, w)
+	}
+	b.mu.Unlock()
+	// Kill first so in-flight roundTrips unblock, then reap each seat as
+	// it drains back into the slot channel.
+	for _, w := range workers {
+		w.kill()
+	}
+	for i := 0; i < b.cfg.Workers; i++ {
+		if w := <-b.slots; w != nil {
+			w.kill()
+			_ = w.cmd.Wait()
+			b.mu.Lock()
+			delete(b.live, w)
+			b.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// WorkerCrashError reports that a proc-backend worker subprocess died (or
+// corrupted its wire) while running a cell. It is retryable: the engine's
+// ledger re-runs the cell, and the backend spawns a replacement worker on
+// demand.
+type WorkerCrashError struct {
+	Worker string
+	Cell   string
+	Err    error
+}
+
+func (e *WorkerCrashError) Error() string {
+	return fmt.Sprintf("campaign: worker %s lost running cell %s: %v", e.Worker, e.Cell, e.Err)
+}
+
+// Retryable marks the crash as retryable for sim.Retryable.
+func (e *WorkerCrashError) Retryable() bool { return true }
+
+// Unwrap exposes the transport-level cause.
+func (e *WorkerCrashError) Unwrap() error { return e.Err }
+
+// faultInjected reports whether the cell's config carries a live fault
+// injector (non-serialisable; must execute in-process).
+func faultInjected(c *Cell) bool {
+	if c.isMix() {
+		return c.Multi.PerCore.FaultInject != nil
+	}
+	return c.Config.FaultInject != nil
+}

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chaosSpec builds cells heavy enough that a SIGKILL reliably lands while
+// a worker holds one in flight: same workload, distinct configs (SimInstrs
+// offset by cell index), so every cell is real simulation work.
+func chaosSpec(t *testing.T, cells int) Spec {
+	t.Helper()
+	w := workload(t, "spec.stream_s00")
+	s := Spec{Name: "chaos"}
+	for i := 0; i < cells; i++ {
+		cfg := tinyConfig(t)
+		cfg.WarmupInstrs = 20_000
+		cfg.SimInstrs = 150_000 + uint64(i)
+		s.Cells = append(s.Cells, Cell{ID: string(rune('a' + i)), Config: cfg, Workload: w})
+	}
+	return s
+}
+
+// TestProcWorkerKillChaos is the acceptance chaos scenario: SIGKILL a
+// worker subprocess while the campaign runs; the lost cell must come back
+// through the retry ledger, the final report must be byte-identical to the
+// local backend's, and the backend must leave no orphan subprocesses or
+// goroutines behind.
+func TestProcWorkerKillChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills worker subprocesses")
+	}
+	spec := chaosSpec(t, 6)
+	ctx := context.Background()
+	baseline := runtime.NumGoroutine()
+
+	bk := NewProcBackend(ProcConfig{Workers: 2})
+	var mu sync.Mutex
+	var retried, died int
+	killed := make(chan int, 1) // the PID we killed
+
+	// Kill the first worker the moment it registers: at that point it has
+	// exactly one cell in flight (spawn happens on dispatch), so the kill
+	// is guaranteed to cost a running cell, not an idle seat.
+	go func() {
+		for {
+			bk.mu.Lock()
+			pid := 0
+			for w := range bk.live {
+				if w.cmd.Process != nil {
+					pid = w.cmd.Process.Pid
+					break
+				}
+			}
+			bk.mu.Unlock()
+			if pid != 0 {
+				_ = syscall.Kill(pid, syscall.SIGKILL)
+				killed <- pid
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	rep, err := Run(ctx, spec, WithWorkers(2), WithBackend(bk),
+		WithRetries(3, time.Millisecond),
+		WithEvents(func(ev Event) {
+			mu.Lock()
+			switch ev.Kind {
+			case EventCellRetried:
+				retried++
+			case EventWorkerDied:
+				died++
+			}
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := <-killed
+
+	if !rep.Complete() {
+		t.Fatalf("campaign incomplete after worker kill: %+v", rep.Failures)
+	}
+	if rep.Simulated != len(spec.Cells) {
+		t.Fatalf("simulated %d cells, want %d", rep.Simulated, len(spec.Cells))
+	}
+	mu.Lock()
+	r, d := retried, died
+	mu.Unlock()
+	if d == 0 {
+		t.Fatal("no worker-died event after SIGKILL")
+	}
+	if r == 0 {
+		t.Fatal("no cell-retried event: the killed worker's cell was not retried")
+	}
+
+	if err := bk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bk.mu.Lock()
+	live := len(bk.live)
+	bk.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d workers still registered after Close", live)
+	}
+	// The killed PID must be reaped (destroy calls Wait): signalling it now
+	// must fail — a zombie or orphan would still accept signal 0.
+	if err := syscall.Kill(pid, 0); err == nil {
+		t.Fatalf("killed worker %d still exists after Close", pid)
+	}
+
+	// Every backend goroutine (AfterFunc watchers, exec.Wait plumbing)
+	// must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The surviving story must not have changed the results: a local run
+	// of the same spec produces byte-identical runs.
+	local, err := Run(ctx, spec, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb, pb := canonicalReport(t, local), canonicalReport(t, rep); string(lb) != string(pb) {
+		t.Fatalf("post-chaos report differs from local:\nlocal: %s\nchaos: %s", lb, pb)
+	}
+}

@@ -1,0 +1,292 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/wdl"
+)
+
+// DaemonBackend executes cells on a running pgcd daemon over its
+// HTTP/JSON wire, turning daemon instances into shard executors. Each
+// cell attempt becomes one single-cell campaign submission with a
+// client-generated idempotency key, so transport retries attach to the
+// in-flight job instead of duplicating work — and the daemon's own
+// content-addressed cache deduplicates across clients for free.
+//
+// The daemon wire is name-based: cells must be single-core, generator
+// backed (no external trace files — the daemon has no access to this
+// machine's paths) and free of fault injection (the daemon rejects it).
+// Registry workloads travel by name; anything else is shipped as an
+// inline WDL body, the same canonical form `tracegen -emit-wdl` prints.
+//
+// These request/response mirrors are declared here rather than imported:
+// internal/daemon imports this package, so the client half of the wire
+// cannot import the server half back.
+type DaemonBackend struct {
+	base   string
+	client *http.Client
+
+	// joined tracks whether the daemon is currently counted as a live
+	// worker, so the event stream sees joined/died transitions rather
+	// than one event per HTTP exchange.
+	mu     sync.Mutex
+	joined bool
+}
+
+// daemonPollWait is how long each status-bearing submit blocks server-side
+// (the daemon caps it at its MaxWait); between polls we lean on this
+// instead of a client-side sleep so warm cells return in one round trip.
+const daemonPollWait = 2 * time.Second
+
+// NewDaemonBackend builds a backend driving the daemon at addr
+// (host:port or a full http(s) URL).
+func NewDaemonBackend(addr string) *DaemonBackend {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &DaemonBackend{
+		base:   strings.TrimRight(addr, "/"),
+		client: &http.Client{},
+	}
+}
+
+// Close releases idle connections; the daemon itself is not ours to stop.
+func (b *DaemonBackend) Close() error {
+	b.client.CloseIdleConnections()
+	return nil
+}
+
+// The daemon wire mirrors (field subset, same JSON tags as internal/daemon).
+type daemonCellSpec struct {
+	ID       string          `json:"id"`
+	Workload string          `json:"workload,omitempty"`
+	WDL      string          `json:"wdl,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+}
+
+type daemonSubmit struct {
+	ID     string           `json:"id,omitempty"`
+	Name   string           `json:"name,omitempty"`
+	Cells  []daemonCellSpec `json:"cells"`
+	WaitMS int64            `json:"wait_ms,omitempty"`
+}
+
+type daemonFailure struct {
+	Cell     string `json:"cell"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
+
+type daemonResult struct {
+	Runs     map[string][]*stats.Run `json:"runs"`
+	Failures []daemonFailure         `json:"failures,omitempty"`
+}
+
+type daemonJob struct {
+	ID     string        `json:"id"`
+	State  string        `json:"state"`
+	Error  string        `json:"error,omitempty"`
+	Result *daemonResult `json:"result,omitempty"`
+}
+
+// ExecuteCell implements Backend.
+func (b *DaemonBackend) ExecuteCell(ctx context.Context, c *Cell, emit EventSink) ([]*stats.Run, error) {
+	spec, err := daemonSpecOf(c)
+	if err != nil {
+		return nil, err // unshippable cell: non-retryable, ledgered
+	}
+	jobID, err := randomJobID()
+	if err != nil {
+		return nil, fatalErrorf("campaign: daemon backend: %v", err)
+	}
+	body, err := json.Marshal(daemonSubmit{
+		ID: jobID, Name: "cell:" + c.ID,
+		Cells:  []daemonCellSpec{spec},
+		WaitMS: daemonPollWait.Milliseconds(),
+	})
+	if err != nil {
+		return nil, fatalErrorf("campaign: daemon backend encoding cell %s: %v", c.ID, err)
+	}
+	// Submit, then keep re-submitting the same job ID: the daemon treats a
+	// known ID as "attach and wait", so this loop is simultaneously the
+	// retry for transient transport errors and the poll for long cells.
+	for {
+		job, err := b.submit(ctx, body)
+		if err != nil {
+			b.markDied(emit, err)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		b.markJoined(emit)
+		switch job.State {
+		case "", "queued", "running":
+			if err := sleepCtx(ctx, 50*time.Millisecond); err != nil {
+				return nil, err
+			}
+			continue
+		case "done":
+			if job.Result == nil || len(job.Result.Runs[c.ID]) == 0 {
+				return nil, retryableErrorf("campaign: daemon job %s done without runs for cell %s", job.ID, c.ID)
+			}
+			return job.Result.Runs[c.ID], nil
+		case "failed":
+			if job.Result != nil {
+				for _, f := range job.Result.Failures {
+					if f.Cell == c.ID {
+						return nil, fatalErrorf("%s", f.Error)
+					}
+				}
+			}
+			return nil, fatalErrorf("campaign: daemon job %s failed: %s", job.ID, job.Error)
+		case "canceled", "interrupted":
+			// The daemon was drained or the job canceled out from under us;
+			// a retry resubmits (warm manifest/cache make that cheap).
+			return nil, retryableErrorf("campaign: daemon job %s was %s", job.ID, job.State)
+		default:
+			return nil, retryableErrorf("campaign: daemon job %s in unknown state %q", job.ID, job.State)
+		}
+	}
+}
+
+// submit posts one campaign request and decodes the job envelope.
+// Backpressure (429/503 with Retry-After) is honoured inside: admission
+// pushback is flow control, not a failure of the cell.
+func (b *DaemonBackend) submit(ctx context.Context, body []byte) (*daemonJob, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/campaigns", bytes.NewReader(body))
+		if err != nil {
+			return nil, fatalErrorf("campaign: daemon backend: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := b.client.Do(req)
+		if err != nil {
+			return nil, retryableErrorf("campaign: daemon %s unreachable: %v", b.base, err)
+		}
+		payload, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, retryableErrorf("campaign: reading daemon response: %v", rerr)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+			var job daemonJob
+			if err := json.Unmarshal(payload, &job); err != nil {
+				return nil, retryableErrorf("campaign: corrupt daemon response: %v", err)
+			}
+			return &job, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			if err := sleepCtx(ctx, retryAfterOf(resp, time.Second)); err != nil {
+				return nil, err
+			}
+			continue
+		case resp.StatusCode >= 500:
+			return nil, retryableErrorf("campaign: daemon returned %d: %s", resp.StatusCode, truncated(payload))
+		default:
+			return nil, fatalErrorf("campaign: daemon rejected cell: %d: %s", resp.StatusCode, truncated(payload))
+		}
+	}
+}
+
+// daemonSpecOf lowers a cell to the daemon's wire form, rejecting what the
+// wire cannot express.
+func daemonSpecOf(c *Cell) (daemonCellSpec, error) {
+	if c.isMix() {
+		return daemonCellSpec{}, fatalErrorf("campaign: daemon backend cannot run multi-core cell %s (wire is single-core)", c.ID)
+	}
+	if c.Workload.Source != nil {
+		return daemonCellSpec{}, fatalErrorf("campaign: daemon backend cannot ship cell %s: external trace files are local to this machine", c.ID)
+	}
+	if c.Config.FaultInject != nil {
+		return daemonCellSpec{}, fatalErrorf("campaign: daemon backend cannot ship cell %s: the daemon rejects fault injection", c.ID)
+	}
+	cfg, err := json.Marshal(c.Config)
+	if err != nil {
+		return daemonCellSpec{}, fatalErrorf("campaign: encoding config of cell %s: %v", c.ID, err)
+	}
+	spec := daemonCellSpec{ID: c.ID, Config: cfg}
+	// Registry workloads travel by name; a workload the daemon would
+	// resolve differently (or not at all) ships as canonical WDL instead.
+	if reg, ok := trace.ByName(c.Workload.Name); ok && reflect.DeepEqual(reg, c.Workload) {
+		spec.Workload = c.Workload.Name
+	} else {
+		spec.WDL = string(wdl.Format(c.Workload))
+	}
+	return spec, nil
+}
+
+// markJoined / markDied translate connection-state transitions into
+// worker lifecycle events: the daemon is one (remote) worker.
+func (b *DaemonBackend) markJoined(emit EventSink) {
+	b.mu.Lock()
+	first := !b.joined
+	b.joined = true
+	b.mu.Unlock()
+	if first && emit != nil {
+		emit(Event{Kind: EventWorkerJoined, Worker: b.base})
+	}
+}
+
+func (b *DaemonBackend) markDied(emit EventSink, cause error) {
+	b.mu.Lock()
+	was := b.joined
+	b.joined = false
+	b.mu.Unlock()
+	if was && emit != nil {
+		emit(Event{Kind: EventWorkerDied, Worker: b.base, Err: cause.Error()})
+	}
+}
+
+// retryAfterOf reads a Retry-After header in seconds, with a default.
+func retryAfterOf(resp *http.Response, def time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return def
+}
+
+// sleepCtx sleeps d or returns the context error, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// truncated clips an error body for messages.
+func truncated(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
+}
+
+// randomJobID generates the client-side idempotency key for one cell
+// attempt (the daemon alphabet is [A-Za-z0-9._-]).
+func randomJobID() (string, error) {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", fmt.Errorf("generating job id: %w", err)
+	}
+	return "bk-" + hex.EncodeToString(buf[:]), nil
+}

@@ -1,0 +1,276 @@
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// The proc backend's wire: the parent writes one procRequest frame per
+// cell attempt, the worker answers with one procResponse frame, in order
+// (each worker runs one cell at a time — concurrency is the fleet, not
+// pipelining). Frames are 4-byte big-endian length + JSON payload; JSON
+// because Go's encoder emits floats in shortest round-tripping form, so a
+// result that crosses the wire re-marshals byte-identically — the same
+// property the content-addressed cache already relies on.
+
+// workerEnv marks a process as a campaign worker. MaybeWorker looks for
+// it; the proc backend sets it when spawning.
+const workerEnv = "PGC_CAMPAIGN_WORKER"
+
+// maxFrame bounds one wire frame (a cell spec or a result). Real cells
+// are a few KiB; the bound exists so a corrupt length prefix fails fast
+// instead of allocating gigabytes.
+const maxFrame = 64 << 20
+
+// writeFrame emits one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("campaign: frame of %d bytes exceeds %d limit", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload. io.EOF at a frame boundary
+// is a clean shutdown and is returned verbatim; EOF inside a frame is an
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("campaign: torn frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("campaign: frame length %d exceeds %d limit", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("campaign: torn frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// wireWorkload is trace.Workload for the wire. A separate struct because
+// trace.Source excludes Path from JSON on purpose (paths are not cache
+// identity) — but the worker subprocess runs on the same machine and
+// needs the path to open the trace, so the wire carries it explicitly.
+type wireWorkload struct {
+	Name            string          `json:"name"`
+	Suite           string          `json:"suite,omitempty"`
+	Seen            bool            `json:"seen,omitempty"`
+	MemoryIntensive bool            `json:"memory_intensive,omitempty"`
+	Weight          float64         `json:"weight,omitempty"`
+	Gen             trace.GenConfig `json:"gen"`
+	Source          *wireSource     `json:"source,omitempty"`
+}
+
+type wireSource struct {
+	Path   string `json:"path"`
+	Format string `json:"format"`
+	SHA256 string `json:"sha256"`
+}
+
+func toWire(w trace.Workload) wireWorkload {
+	ww := wireWorkload{
+		Name: w.Name, Suite: w.Suite, Seen: w.Seen,
+		MemoryIntensive: w.MemoryIntensive, Weight: w.Weight, Gen: w.Config,
+	}
+	if w.Source != nil {
+		ww.Source = &wireSource{Path: w.Source.Path, Format: w.Source.Format, SHA256: w.Source.SHA256}
+	}
+	return ww
+}
+
+func (ww wireWorkload) workload() trace.Workload {
+	w := trace.Workload{
+		Name: ww.Name, Suite: ww.Suite, Seen: ww.Seen,
+		MemoryIntensive: ww.MemoryIntensive, Weight: ww.Weight, Config: ww.Gen,
+	}
+	if ww.Source != nil {
+		w.Source = &trace.Source{Path: ww.Source.Path, Format: ww.Source.Format, SHA256: ww.Source.SHA256}
+	}
+	return w
+}
+
+// procRequest is one cell attempt on the wire (the serialisable subset of
+// Cell — FaultInject cells never reach the wire; the backend runs them
+// in-process).
+type procRequest struct {
+	ID       string           `json:"id"`
+	Config   *sim.Config      `json:"config,omitempty"`
+	Workload *wireWorkload    `json:"workload,omitempty"`
+	Multi    *sim.MultiConfig `json:"multi,omitempty"`
+	Mix      []wireWorkload   `json:"mix,omitempty"`
+}
+
+func requestOf(c *Cell) procRequest {
+	req := procRequest{ID: c.ID}
+	if c.isMix() {
+		m := *c.Multi
+		req.Multi = &m
+		req.Mix = make([]wireWorkload, len(c.Mix))
+		for i, w := range c.Mix {
+			req.Mix[i] = toWire(w)
+		}
+		return req
+	}
+	cfg := c.Config
+	req.Config = &cfg
+	w := toWire(c.Workload)
+	req.Workload = &w
+	return req
+}
+
+func (req *procRequest) cell() Cell {
+	c := Cell{ID: req.ID}
+	if req.Multi != nil {
+		c.Multi = req.Multi
+		c.Mix = make([]trace.Workload, len(req.Mix))
+		for i, ww := range req.Mix {
+			c.Mix[i] = ww.workload()
+		}
+		return c
+	}
+	if req.Config != nil {
+		c.Config = *req.Config
+	}
+	if req.Workload != nil {
+		c.Workload = req.Workload.workload()
+	}
+	return c
+}
+
+// wireError carries a cell failure across the process boundary with
+// enough structure to rebuild what the failure ledger (and the
+// experiments harness on top of it) observes: *sim.RunError identity
+// (workload, stage, panicked), typed *sim.CheckError verdicts, and the
+// sim.Retryable judgement the worker computed on the original error.
+type wireError struct {
+	Msg       string          `json:"msg"`
+	Retryable bool            `json:"retryable,omitempty"`
+	RunError  bool            `json:"run_error,omitempty"`
+	Workload  string          `json:"workload,omitempty"`
+	Stage     string          `json:"stage,omitempty"`
+	Panicked  bool            `json:"panicked,omitempty"`
+	Check     *sim.CheckError `json:"check,omitempty"`
+}
+
+func encodeError(err error) *wireError {
+	we := &wireError{Retryable: sim.Retryable(err)}
+	if re, ok := err.(*sim.RunError); ok {
+		we.RunError = true
+		we.Workload = re.Workload
+		we.Stage = re.Stage
+		we.Panicked = re.Panicked
+		we.Msg = fmt.Sprint(re.Err)
+		we.Check = sim.CheckFailure(re.Err)
+		return we
+	}
+	we.Msg = err.Error()
+	return we
+}
+
+// decodeError rebuilds the worker's error. RunError shells are
+// reconstructed so ledger strings are byte-identical to the local
+// backend's and stage/panic classification survives; CheckError payloads
+// come back as the typed value so sim.CheckFailure still extracts them.
+func (we *wireError) decode() error {
+	if we == nil {
+		return nil
+	}
+	var inner error
+	if we.Check != nil {
+		inner = we.Check
+	} else {
+		inner = &backendError{msg: we.Msg, retryable: we.Retryable}
+	}
+	if we.RunError {
+		return &sim.RunError{Workload: we.Workload, Stage: we.Stage, Panicked: we.Panicked, Err: inner}
+	}
+	return inner
+}
+
+// procResponse is one cell outcome on the wire.
+type procResponse struct {
+	ID   string       `json:"id"`
+	Runs []*stats.Run `json:"runs,omitempty"`
+	Err  *wireError   `json:"error,omitempty"`
+}
+
+// ServeWorker runs the worker side of the proc wire: read one cell
+// request per frame from r, execute it in-process, answer with one
+// response frame on w, until r reaches EOF (the parent closed our stdin —
+// clean shutdown). Simulation failures travel inside the response; only
+// protocol-level corruption returns an error.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	local := Local()
+	for {
+		payload, err := readFrame(br)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		var req procRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return fmt.Errorf("campaign: worker decoding request: %w", err)
+		}
+		cell := req.cell()
+		runs, rerr := local.ExecuteCell(context.Background(), &cell, nil)
+		resp := procResponse{ID: req.ID, Runs: runs}
+		if rerr != nil {
+			resp.Runs, resp.Err = nil, encodeError(rerr)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			// A result that cannot be serialised is a response-level
+			// failure, not a dead worker.
+			out, _ = json.Marshal(procResponse{ID: req.ID, Err: &wireError{
+				Msg: fmt.Sprintf("campaign: worker encoding result: %v", err),
+			}})
+		}
+		if err := writeFrame(bw, out); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// MaybeWorker turns the current process into a campaign worker when it
+// was spawned as one (workerEnv set by the proc backend): it serves cells
+// over stdin/stdout and exits, never returning. In a normal invocation it
+// returns immediately. Call it first in main() of every binary used as a
+// ProcConfig.Command (cmd/pgcsim, cmd/experiments and cmd/pgcd do).
+func MaybeWorker() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,123 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wdl"
+)
+
+// backendCellConfig returns a config within testConfig's admission limits.
+func backendCellConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 1_000
+	cfg.SimInstrs = 3_000
+	cfg.Policy = sim.PolicyDripper
+	return cfg
+}
+
+// TestDaemonBackendMatchesLocal drives a real in-process daemon as a
+// campaign execution backend and checks the differential contract: runs
+// byte-identical to the local backend, for both registry-name cells and
+// inline-WDL cells, with the daemon surfacing as one remote worker in the
+// event stream.
+func TestDaemonBackendMatchesLocal(t *testing.T) {
+	_, ts := openTest(t, testConfig(t))
+	bk := campaign.NewDaemonBackend(ts.URL)
+	defer bk.Close()
+
+	reg, ok := trace.ByName("spec.stream_s00")
+	if !ok {
+		t.Fatal("workload spec.stream_s00 missing")
+	}
+	// A non-registry workload exercises the inline-WDL path. Round-trip it
+	// through the WDL printer/parser first so both sides of the comparison
+	// hold the same canonical value.
+	custom := reg
+	custom.Name = "custom.stream"
+	ws, err := wdl.ParseWorkloads("test", wdl.Format(custom))
+	if err != nil || len(ws) != 1 {
+		t.Fatalf("round-tripping custom workload: %v (%d workloads)", err, len(ws))
+	}
+	custom = ws[0]
+
+	spec := campaign.Spec{Name: "daemon-backend", Cells: []campaign.Cell{
+		{ID: "reg", Config: backendCellConfig(), Workload: reg},
+		{ID: "wdl", Config: backendCellConfig(), Workload: custom},
+	}}
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	joined := 0
+	rep, err := campaign.Run(ctx, spec, campaign.WithWorkers(2), campaign.WithBackend(bk),
+		campaign.WithEvents(func(ev campaign.Event) {
+			mu.Lock()
+			if ev.Kind == campaign.EventWorkerJoined {
+				joined++
+			}
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("daemon-backed campaign incomplete: %+v", rep.Failures)
+	}
+	if joined != 1 {
+		t.Fatalf("worker-joined events = %d, want 1 (the daemon joins once, not per cell)", joined)
+	}
+
+	local, err := campaign.Run(ctx, spec, campaign.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range local.Runs {
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(rep.Runs[id])
+		if string(wb) != string(gb) {
+			t.Fatalf("cell %s: daemon result differs from local:\nlocal:  %s\ndaemon: %s", id, wb, gb)
+		}
+	}
+}
+
+// TestDaemonBackendRejectsUnshippable pins the fatal-rejection contract:
+// cells the daemon wire cannot express fail once (no retry storm against
+// the daemon) with a diagnostic naming the reason.
+func TestDaemonBackendRejectsUnshippable(t *testing.T) {
+	_, ts := openTest(t, testConfig(t))
+	bk := campaign.NewDaemonBackend(ts.URL)
+	defer bk.Close()
+
+	reg, _ := trace.ByName("spec.stream_s00")
+	cfg := backendCellConfig()
+	injected := cfg
+	injected.FaultInject = faultinject.New(faultinject.Config{})
+	sourced := reg
+	sourced.Source = &trace.Source{Path: "/tmp/x.trace", Format: "champsim", SHA256: "00"}
+
+	spec := campaign.Spec{Name: "unshippable", Cells: []campaign.Cell{
+		{ID: "mix", Multi: &sim.MultiConfig{PerCore: cfg, Cores: 2},
+			Mix: []trace.Workload{reg, reg}},
+		{ID: "inject", Config: injected, Workload: reg},
+		{ID: "source", Config: cfg, Workload: sourced},
+	}}
+	rep, err := campaign.Run(context.Background(), spec,
+		campaign.WithWorkers(1), campaign.WithBackend(bk), campaign.WithRetries(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != len(spec.Cells) {
+		t.Fatalf("failures = %d, want %d: %+v", len(rep.Failures), len(spec.Cells), rep.Failures)
+	}
+	for _, f := range rep.Failures {
+		if f.Attempts != 1 {
+			t.Fatalf("unshippable cell %s was attempted %d times, want 1", f.ID, f.Attempts)
+		}
+	}
+}

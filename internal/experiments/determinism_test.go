@@ -30,7 +30,7 @@ func TestMatrixDeterminism(t *testing.T) {
 		wls = append(wls, w)
 	}
 	scens := []Scenario{scenarioDiscard(), scenarioDripper()}
-	o := Options{Warmup: 5_000, Instrs: 10_000, Exec: campaign.Exec{Workers: 4}}
+	o := Options{Warmup: 5_000, Instrs: 10_000, Campaign: []campaign.Option{campaign.WithWorkers(4)}}
 
 	campaign := func() Matrix {
 		rep, err := RunMatrixCtx(context.Background(), o, wls, scens)

@@ -269,7 +269,7 @@ func Fig19(o Options, cores, mixes int) (*Fig19Result, error) {
 			cells = append(cells, cell)
 		}
 	}
-	crep, err := campaign.Run(o.ctx(), campaign.Spec{Name: "fig19", Cells: cells}, campaign.WithExec(o.Exec))
+	crep, err := campaign.Run(o.ctx(), campaign.Spec{Name: "fig19", Cells: cells}, o.Campaign...)
 	if crep != nil && o.Totals != nil {
 		o.Totals.Add(crep)
 	}

@@ -22,11 +22,11 @@ import (
 )
 
 // Options scales an experiment. Execution policy — worker-pool width,
-// retry/timeout fault isolation, the result cache and the resume manifest
-// — lives in the embedded campaign.Exec, the same struct the campaign
-// engine takes: one struct, one defaults path for both the experiments
-// harness and direct campaign callers. (The former Options.Parallel is now
-// Exec.Workers; RunTimeout/Retries/RetryBackoff moved unrenamed.)
+// retry/timeout fault isolation, cache, resume manifest, execution
+// backend — is expressed as campaign options in Campaign: the same
+// option set pagecross.RunCampaign, the daemon's spec compiler and
+// direct campaign callers use, so there is exactly one way to configure
+// execution everywhere.
 type Options struct {
 	// Warmup and Instrs are the per-workload instruction budgets.
 	Warmup, Instrs uint64
@@ -40,11 +40,14 @@ type Options struct {
 	// it between and inside runs (at the simulator's watchdog poll grain).
 	// nil means context.Background().
 	Ctx context.Context
-	// Exec is the campaign execution policy: Workers (concurrent
-	// simulations, default NumCPU), Retries/RetryBackoff/RunTimeout
-	// (per-run fault isolation), CacheDir (content-addressed result
-	// cache) and ResumeManifest (checkpoint/resume).
-	campaign.Exec
+	// Campaign is the execution policy, as campaign options:
+	// campaign.WithWorkers (concurrent simulations, default NumCPU),
+	// WithRetries/WithRunTimeout (per-run fault isolation), WithCache
+	// (content-addressed result cache), WithResume (checkpoint/resume),
+	// WithBackend (local pool / worker subprocesses / remote daemon) and
+	// WithEvents (typed execution event stream). Applied verbatim to every
+	// matrix the experiment runs.
+	Campaign []campaign.Option
 	// Watchdog overrides the simulator's forward-progress watchdog for
 	// every run of the experiment (zero value = simulator defaults).
 	Watchdog sim.WatchdogConfig
@@ -165,8 +168,9 @@ type MatrixReport struct {
 	Total    int // runs attempted = len(scenarios) × len(workloads)
 	// CacheHits, Resumed and Simulated partition the completed runs by
 	// provenance: served from the content-addressed result cache, replayed
-	// from a resume manifest, or actually simulated. Without Exec.CacheDir
-	// or Exec.ResumeManifest every completed run is Simulated.
+	// from a resume manifest, or actually simulated. Without
+	// campaign.WithCache or campaign.WithResume every completed run is
+	// Simulated.
 	CacheHits, Resumed, Simulated int
 }
 
@@ -227,9 +231,10 @@ func RunMatrix(o Options, wls []trace.Workload, scens []Scenario) (Matrix, error
 // campaign: each (scenario, workload) pair becomes a cell of a dependency-
 // free DAG executed on the campaign engine's sharded work-stealing pool,
 // with the engine's fault isolation (a panicking or erroring run becomes a
-// typed failure-ledger entry; retryable failures retry with backoff up to
-// Exec.Retries) and, when Exec.CacheDir / Exec.ResumeManifest are set, its
-// content-addressed result cache and checkpoint manifest. The returned
+// typed failure-ledger entry; retryable failures retry with backoff per
+// campaign.WithRetries) and, per the other Options.Campaign options, its
+// content-addressed result cache, checkpoint manifest and execution
+// backend. The returned
 // error is non-nil only when ctx itself is cancelled or expires (or the
 // cache/manifest is unusable); the report then holds whatever completed
 // before teardown.
@@ -252,7 +257,7 @@ func RunMatrixCtx(ctx context.Context, o Options, wls []trace.Workload, scens []
 		}
 	}
 	rep := &MatrixReport{Matrix: Matrix{}, Total: len(spec.Cells)}
-	crep, err := campaign.Run(ctx, spec, campaign.WithExec(o.Exec))
+	crep, err := campaign.Run(ctx, spec, o.Campaign...)
 	if crep == nil {
 		return rep, err
 	}

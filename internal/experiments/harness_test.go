@@ -156,7 +156,7 @@ func TestRunMatrixReturnsPartialOnError(t *testing.T) {
 
 func TestRunMatrixCtxCancellationIsPrompt(t *testing.T) {
 	wls := tinySet(t)
-	o := Options{Warmup: 0, Instrs: 2_000_000_000, Exec: campaign.Exec{Workers: 2}}
+	o := Options{Warmup: 0, Instrs: 2_000_000_000, Campaign: []campaign.Option{campaign.WithWorkers(2)}}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -188,8 +188,7 @@ func TestRunMatrixRetriesTransientFailures(t *testing.T) {
 	wls := tinySet(t)[:1]
 	inj := faultinject.New(faultinject.Config{FailAttempts: 2})
 	o := poisonOpts()
-	o.Retries = 3
-	o.RetryBackoff = time.Millisecond
+	o.Campaign = append(o.Campaign, campaign.WithRetries(3, time.Millisecond))
 	o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
 		cfg.FaultInject = inj
 	}
@@ -212,7 +211,7 @@ func TestRunMatrixDoesNotRetryDeterministicStalls(t *testing.T) {
 	wls := tinySet(t)[:1]
 	inj := faultinject.New(faultinject.Config{StallRetireAfter: 2_000})
 	o := poisonOpts()
-	o.Retries = 5
+	o.Campaign = append(o.Campaign, campaign.WithRetries(5, time.Millisecond))
 	o.Watchdog = sim.WatchdogConfig{NoRetireBound: 20_000, PollEvery: 1_000}
 	o.Configure = func(cfg *sim.Config, scenario string, wl trace.Workload) {
 		cfg.FaultInject = inj

@@ -156,13 +156,6 @@ func (m *MultiSystem) RunMix(ctx context.Context, mix []trace.Workload) ([]*stat
 	return out, nil
 }
 
-// RunMixCtx forwards to RunMix, which is now context-first itself.
-//
-// Deprecated: call RunMix directly.
-func (m *MultiSystem) RunMixCtx(ctx context.Context, mix []trace.Workload) ([]*stats.Run, error) {
-	return m.RunMix(ctx, mix)
-}
-
 // checkSweep runs every core's invariant checker once — the multi-core
 // analogue of the single-core poll-grain sweep. Cores without a checker
 // (Check disabled) cost one nil comparison each.

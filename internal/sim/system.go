@@ -838,13 +838,6 @@ func RunWorkload(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run,
 	return run, rerr
 }
 
-// RunWorkloadCtx forwards to RunWorkload, which is now context-first itself.
-//
-// Deprecated: call RunWorkload directly.
-func RunWorkloadCtx(ctx context.Context, cfg Config, w trace.Workload) (*stats.Run, error) {
-	return RunWorkload(ctx, cfg, w)
-}
-
 // RunTrace runs an arbitrary instruction stream (e.g. a recorded trace file)
 // through a fresh system: warmup, stats reset, measurement. Failures come
 // back as *RunError wrapping the cause (*StallError for watchdog aborts,
@@ -857,14 +850,7 @@ func RunTrace(ctx context.Context, cfg Config, name, suite string, reader trace.
 	return run, err
 }
 
-// RunTraceCtx forwards to RunTrace, which is now context-first itself.
-//
-// Deprecated: call RunTrace directly.
-func RunTraceCtx(ctx context.Context, cfg Config, name, suite string, reader trace.Reader) (*stats.Run, error) {
-	return RunTrace(ctx, cfg, name, suite, reader)
-}
-
-// RunTraceSystem is RunTraceCtx returning the system alongside the run, so
+// RunTraceSystem is RunTrace returning the system alongside the run, so
 // callers can export its metrics snapshot (-metrics-out), drain its event
 // tracer (-trace-out), or diff registries across runs. The system is nil
 // only when construction itself failed.

@@ -156,6 +156,41 @@ func WithWorkers(n int) CampaignOption { return campaign.WithWorkers(n) }
 // JSONL manifest at path.
 func WithResume(manifest string) CampaignOption { return campaign.WithResume(manifest) }
 
+// CampaignBackend is where a campaign's cells execute: the in-process
+// pool (default), worker subprocesses sharing the on-disk cache, or a
+// remote pgcd daemon. Backends are owned by their creator — close them
+// after the campaigns they serve.
+type CampaignBackend = campaign.Backend
+
+// CampaignEvent is one entry of a campaign's typed event stream (cell
+// started/cached/resumed/completed/failed/retried, worker joined/died).
+type CampaignEvent = campaign.Event
+
+// WithBackend selects the campaign execution backend (nil = in-process).
+func WithBackend(b CampaignBackend) CampaignOption { return campaign.WithBackend(b) }
+
+// WithEvents installs a callback receiving the campaign's totally ordered
+// typed event stream.
+func WithEvents(fn func(CampaignEvent)) CampaignOption { return campaign.WithEvents(fn) }
+
+// NewProcBackend forks n worker subprocesses (re-executing this binary,
+// which must call campaign.MaybeWorker — the repo's CLIs do) and executes
+// cells on them over length-prefixed JSON stdio. A crashed worker's cell
+// is retried on another shard via the campaign retry ledger.
+func NewProcBackend(n int) CampaignBackend {
+	return campaign.NewProcBackend(campaign.ProcConfig{Workers: n})
+}
+
+// NewDaemonBackend drives a running pgcd daemon at addr (host:port or
+// URL) as the campaign's executor over its HTTP/JSON wire.
+func NewDaemonBackend(addr string) CampaignBackend { return campaign.NewDaemonBackend(addr) }
+
+// ParseBackend resolves the CLI backend syntax: "local" (nil backend),
+// "procs[:N]", or "daemon:<addr>"; workers sizes an unsuffixed "procs".
+func ParseBackend(spec string, workers int) (CampaignBackend, error) {
+	return campaign.ParseBackend(spec, workers)
+}
+
 // CacheKeyOf returns the result-cache key RunCampaign would use for one
 // single-core cell — campaign.ErrUncacheable for fault-injected configs.
 func CacheKeyOf(cfg Config, w Workload) (CacheKey, error) { return campaign.KeyOf(cfg, w) }
